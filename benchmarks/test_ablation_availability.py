@@ -1,0 +1,65 @@
+"""Ablation (paper §4): reliable performance and failure redundancy.
+
+Paper claims: Section 4 studies "the critical mass needed for such a
+system to achieve global coverage and **reliable performance**"; Figure
+2(c)'s caption adds that satellites beyond the coverage minimum "ensure
+fault tolerance ... and increased availability."  These benches measure
+both: availability vs fleet size (random and Walker-structured layouts),
+and graceful degradation as a growing fraction of the reference fleet
+fails.
+"""
+
+from conftest import print_table
+
+from repro.experiments.availability import (
+    availability_sweep,
+    resilience_sweep,
+)
+
+
+def test_availability_vs_fleet_size(benchmark):
+    rows = benchmark.pedantic(
+        availability_sweep,
+        kwargs={"fleet_sizes": (12, 24, 40, 55, 66), "epochs": 8,
+                "seed": 37},
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Service availability vs fleet size (three sample users)",
+        rows,
+        ["satellites", "layout", "equatorial_availability",
+         "mid-latitude_availability", "high-latitude_availability", "mean"],
+    )
+    random_rows = [r for r in rows if r["layout"] == "random"]
+    means = [r["mean"] for r in random_rows]
+    # Availability climbs with fleet size (noise allowance).
+    assert means[-1] > means[0]
+    assert means[-1] > 0.6
+    # Structured design beats random placement at equal size.
+    structured = [r for r in rows if r["layout"] == "walker-star"]
+    assert structured
+    assert structured[0]["mean"] >= means[-1]
+    assert structured[0]["mean"] > 0.95
+
+
+def test_resilience_to_failures(benchmark):
+    rows = benchmark.pedantic(
+        resilience_sweep,
+        kwargs={"failure_fractions": (0.0, 0.1, 0.2, 0.3, 0.5),
+                "epochs": 4, "seed": 41},
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Graceful degradation: random satellite failures in the 66-sat fleet",
+        rows,
+        ["failed_fraction", "surviving", "mean_availability"],
+    )
+    by_fraction = {r["failed_fraction"]: r for r in rows}
+    # The redundancy margin absorbs 10% failures with no availability loss.
+    assert by_fraction[0.0]["mean_availability"] == 1.0
+    assert by_fraction[0.1]["mean_availability"] >= 0.95
+    # Degradation is graceful, not a cliff: half the fleet still gives
+    # partial service.
+    availabilities = [r["mean_availability"] for r in rows]
+    assert availabilities == sorted(availabilities, reverse=True)
+    assert by_fraction[0.5]["mean_availability"] > 0.3

@@ -1,0 +1,46 @@
+"""Ablation (paper §4/§5): operator fragmentation at fixed fleet size.
+
+Paper claims: small firms individually "would simply have coverage for a
+patchwork of regions ... rather than continuous global coverage on their
+own", while interoperable collaboration makes the fragmented fleet
+equivalent to a monolith; collaboration also divides the entry cost.
+"""
+
+from conftest import print_table
+
+from repro.experiments.ablations import ablation_federation
+
+
+def test_federation_fragmentation_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ablation_federation,
+        kwargs={"operator_counts": (1, 2, 3, 6), "satellite_count": 66,
+                "seed": 19},
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Operator fragmentation at fixed 66-satellite fleet",
+        rows,
+        ["operators", "federated_reachability", "federated_latency_ms",
+         "solo_reachability", "per_operator_capex_musd"],
+    )
+
+    # Interoperability thesis: federated service quality is independent of
+    # how ownership is fragmented.
+    federated = [row["federated_reachability"] for row in rows]
+    assert max(federated) - min(federated) < 0.15
+    assert min(federated) > 0.5
+
+    # Without collaboration, fragmentation collapses solo reachability.
+    by_count = {row["operators"]: row for row in rows}
+    assert (by_count[6]["solo_reachability"]
+            < by_count[1]["solo_reachability"])
+    assert (by_count[6]["solo_reachability"]
+            < by_count[6]["federated_reachability"])
+
+    # Entry cost divides with the participant count.
+    capex = [row["per_operator_capex_musd"] for row in rows]
+    assert capex == sorted(capex, reverse=True)
+    assert by_count[6]["per_operator_capex_musd"] < (
+        by_count[1]["per_operator_capex_musd"] / 5.0
+    )

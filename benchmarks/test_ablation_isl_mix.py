@@ -1,0 +1,40 @@
+"""Ablation (paper §2.1): RF-only vs mixed vs all-laser fleets.
+
+Paper claims: laser ISLs offer "higher throughput than RF, with lower
+energy cost", but at ~$500,000 per terminal they are "infeasible ... for
+smaller spacecraft"; OpenSpace therefore mandates RF and makes laser
+optional.  The sweep quantifies what the laser fraction buys (premium-QoS
+admission) and costs (fleet capex).
+"""
+
+from conftest import print_table
+
+from repro.experiments.ablations import ablation_isl_mix
+
+
+def test_isl_mix_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ablation_isl_mix,
+        kwargs={"laser_fractions": (0.0, 0.25, 0.5, 0.75, 1.0),
+                "satellite_count": 66, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "ISL technology mix: laser fraction sweep",
+        rows,
+        ["laser_fraction", "premium_admission", "mean_latency_ms",
+         "fleet_capex_musd"],
+    )
+    by_fraction = {row["laser_fraction"]: row for row in rows}
+
+    # Premium (50 Mbps bottleneck) admission needs lasers.
+    assert by_fraction[0.0]["premium_admission"] < 0.3
+    assert by_fraction[1.0]["premium_admission"] > 0.6
+    admissions = [row["premium_admission"] for row in rows]
+    assert admissions[-1] >= admissions[0]
+
+    # Capex grows monotonically with the laser fraction, and the full
+    # upgrade costs at least the terminal bill (66 x $0.5M).
+    capex = [row["fleet_capex_musd"] for row in rows]
+    assert capex == sorted(capex)
+    assert capex[-1] - capex[0] > 66 * 0.5

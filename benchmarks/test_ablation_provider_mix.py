@@ -1,0 +1,55 @@
+"""Ablation (paper Discussion Q1): the mix of small and big players.
+
+Paper claim: answering "what is the precise mix of small and big satellite
+players that are needed" requires "extensive simulation tools not explored
+in this paper" — modelled user bases, traffic patterns, technical
+diversity.  This bench runs that tool: fleet compositions from all-small
+(RF-only) to all-medium (laser-equipped) are swept under an identical
+QoS-differentiated workload.
+"""
+
+from conftest import print_table
+
+from repro.experiments.provider_mix import provider_mix_sweep
+
+MIXES = ((3, 0), (2, 1), (1, 2), (0, 3))
+
+
+def test_provider_mix_sweep(benchmark):
+    results = benchmark.pedantic(
+        provider_mix_sweep,
+        kwargs={"mixes": MIXES, "satellite_count": 66, "flow_count": 60,
+                "seed": 29},
+        rounds=1, iterations=1,
+    )
+    rows = [{
+        "mix": r.mix_name,
+        "best_effort": r.admission_by_class.get("best_effort", float("nan")),
+        "standard": r.admission_by_class.get("standard", float("nan")),
+        "premium": r.admission_by_class.get("premium", float("nan")),
+        "mean_fct_s": r.mean_fct_s,
+        "capex_musd": r.capex_musd,
+        "prem_per_musd": r.premium_capacity_per_musd,
+    } for r in results]
+    print_table(
+        "Provider mix sweep: small (RF-only) vs medium (laser) operators",
+        rows,
+        ["mix", "best_effort", "standard", "premium", "mean_fct_s",
+         "capex_musd", "prem_per_musd"],
+    )
+
+    all_small = results[0]
+    all_medium = results[-1]
+    # Basic service works regardless of the mix: small players alone can
+    # sell best-effort connectivity — the democratization claim.
+    for result in results:
+        assert result.admission_by_class.get("best_effort", 0.0) > 0.8
+    # Premium service needs laser capacity in the mix.
+    assert (all_medium.admission_by_class.get("premium", 0.0)
+            >= all_small.admission_by_class.get("premium", 0.0))
+    assert all_medium.admission_by_class.get("premium", 0.0) > 0.8
+    # Capex is monotone in the medium share.
+    capex = [r.capex_musd for r in results]
+    assert capex == sorted(capex)
+    # Flow completion improves (or holds) as laser capacity enters.
+    assert all_medium.mean_fct_s <= all_small.mean_fct_s

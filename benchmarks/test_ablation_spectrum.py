@@ -1,0 +1,77 @@
+"""Ablation (paper §2): shared-spectrum coordination between operators.
+
+Paper claim: interoperability "is challenging without access to shared
+spectrum"; OpenSpace satellites of different owners transmit in common
+bands, so co-channel coordination is a precondition for the whole
+architecture.  This ablation overlaps two operators' shells and compares
+coordinated channel assignment (public-topology graph coloring) against
+uncoordinated random channel choice, at several band partitions.
+"""
+
+from conftest import print_table
+
+import numpy as np
+
+from repro.core.spectrum import SpectrumCoordinator
+from repro.orbits.walker import (
+    iridium_like,
+    merge_constellations,
+    random_constellation,
+)
+
+
+def _positions(seed=9):
+    rng = np.random.default_rng(seed)
+    merged = merge_constellations(
+        [iridium_like(), random_constellation(66, rng)], "dual-shell"
+    )
+    return {f"sat{i}": p for i, p in enumerate(merged.positions_at(0.0))}
+
+
+def test_spectrum_coordination(benchmark):
+    positions = _positions()
+    coordinator = SpectrumCoordinator(min_separation_deg=15.0,
+                                      grid_resolution=16)
+
+    def run():
+        plan = coordinator.plan(positions)
+        rows = []
+        for slots in (plan.slot_count, plan.slot_count * 2,
+                      plan.slot_count * 4):
+            collisions = [
+                coordinator.uncoordinated_collisions(
+                    positions, slots, np.random.default_rng(100 + trial)
+                )
+                for trial in range(5)
+            ]
+            capped = coordinator.plan(positions, available_slots=slots)
+            rows.append({
+                "slots": slots,
+                "coordinated_collisions": 0 if capped.is_conflict_free()
+                else sum(
+                    1 for a, b in capped.conflict_edges
+                    if capped.assignments[a] == capped.assignments[b]
+                ),
+                "random_collisions_mean": float(np.mean(collisions)),
+            })
+        return plan, rows
+
+    plan, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Shared-spectrum coordination ({len(plan.conflict_edges)} "
+        f"conflicting pairs, {plan.slot_count} slots needed)",
+        rows,
+        ["slots", "coordinated_collisions", "random_collisions_mean"],
+    )
+
+    # The overlapped shells genuinely conflict.
+    assert len(plan.conflict_edges) > 0
+    # Coordination resolves every conflict within the chromatic slots.
+    assert plan.is_conflict_free()
+    # Random assignment keeps colliding even with the same slot budget.
+    assert rows[0]["random_collisions_mean"] > 0.0
+    assert rows[0]["coordinated_collisions"] == 0
+    # More spectrum helps the uncoordinated case but does not fix it as
+    # efficiently as coordination does.
+    assert (rows[-1]["random_collisions_mean"]
+            <= rows[0]["random_collisions_mean"])

@@ -1,0 +1,78 @@
+"""Performance benchmarks for the hot simulation primitives.
+
+Unlike the figure/ablation benches (single-shot experiment regeneration),
+these measure steady-state throughput of the primitives that dominate
+large parameter sweeps: orbit propagation, ISL topology construction,
+proactive route precomputation, coverage estimation, and whole-network
+snapshots.  Regressions here multiply directly into experiment wall-clock.
+"""
+
+import numpy as np
+
+from repro.core.interop import SizeClass, build_fleet
+from repro.core.network import OpenSpaceNetwork
+from repro.ground.station import default_station_network
+from repro.isl.topology import IslNode, IslTopologyBuilder
+from repro.orbits.visibility import coverage_fraction
+from repro.orbits.walker import iridium_like
+from repro.phy.rf import standard_sband_isl_terminal
+from repro.routing.proactive import ProactiveRouter
+
+
+def test_perf_constellation_propagation(benchmark):
+    constellation = iridium_like()
+    propagators = constellation.propagators()
+
+    def propagate():
+        return [p.position_at(1234.5) for p in propagators]
+
+    positions = benchmark(propagate)
+    assert len(positions) == 66
+
+
+def test_perf_isl_topology_snapshot(benchmark):
+    constellation = iridium_like()
+    ids = [f"s{i}" for i in range(66)]
+    nodes = [
+        IslNode(sat_id, [standard_sband_isl_terminal()], max_degree=4)
+        for sat_id in ids
+    ]
+    builder = IslTopologyBuilder(nodes)
+    positions = dict(zip(ids, constellation.positions_at(0.0)))
+
+    snap = benchmark(builder.snapshot, 0.0, positions)
+    assert snap.link_count > 60
+
+
+def test_perf_proactive_precompute(benchmark):
+    constellation = iridium_like()
+    ids = [f"s{i}" for i in range(66)]
+    nodes = [
+        IslNode(sat_id, [standard_sband_isl_terminal()], max_degree=4)
+        for sat_id in ids
+    ]
+    builder = IslTopologyBuilder(nodes)
+    snap = builder.snapshot(0.0, dict(zip(ids, constellation.positions_at(0.0))))
+
+    def precompute():
+        router = ProactiveRouter()
+        return router.precompute([snap])
+
+    table = benchmark(precompute)
+    assert table.route_count == 66 * 65
+
+
+def test_perf_coverage_estimate(benchmark):
+    constellation = iridium_like()
+    positions = constellation.positions_at(0.0)
+
+    value = benchmark(coverage_fraction, positions, 780.0)
+    assert value > 0.99
+
+
+def test_perf_network_snapshot(benchmark):
+    fleet = build_fleet(iridium_like(), "perf", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, default_station_network())
+
+    snap = benchmark(network.snapshot, 0.0)
+    assert snap.graph.number_of_nodes() == 66 + 15

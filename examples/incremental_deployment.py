@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Charting the incremental-deployment pathway (paper Section 4).
+
+"Our objective is to understand how small initial deployments can be
+across a small number of initial players to achieve a starting point from
+which the system can scale, much like in the early days of the Internet."
+
+For a growing fleet this example reports, at each deployment stage:
+
+* union coverage and instantaneous user->gateway reachability;
+* store-and-forward deliverability (bundles riding satellites between
+  contacts) and its delivery delay — the service a minimal deployment can
+  actually sell (messaging/IoT) before real-time Internet is feasible;
+* cumulative fleet capex.
+
+Run:
+    python examples/incremental_deployment.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.interop import SizeClass, build_fleet
+from repro.economics.capex import constellation_budget
+from repro.isl.topology import IslNode, IslTopologyBuilder
+from repro.orbits.coordinates import GeodeticPoint, ecef_to_eci
+from repro.orbits.visibility import coverage_fraction, elevation_angle
+from repro.orbits.walker import random_constellation
+from repro.phy.rf import standard_sband_isl_terminal
+from repro.routing.timeexpanded import TimeExpandedRouter
+
+USER = GeodeticPoint(-1.29, 36.82)       # Nairobi
+GATEWAY = GeodeticPoint(50.11, 8.68)     # Frankfurt
+STAGES = (4, 8, 16, 28, 44, 66)
+PLAN_HORIZON_S = 3600.0
+EPOCH_S = 120.0
+
+
+def build_plan(constellation):
+    """Snapshots with user/gateway access edges over one hour."""
+    count = len(constellation)
+    nodes = [
+        IslNode(f"s{i}", [standard_sband_isl_terminal()], max_degree=4)
+        for i in range(count)
+    ]
+    builder = IslTopologyBuilder(nodes)
+    snapshots = []
+    mask = math.radians(5.0)
+    for time_s in np.arange(0.0, PLAN_HORIZON_S, EPOCH_S):
+        positions = {
+            f"s{i}": p
+            for i, p in enumerate(constellation.positions_at(float(time_s)))
+        }
+        snap = builder.snapshot(float(time_s), positions)
+        snap.graph.add_node("user")
+        snap.graph.add_node("gateway")
+        user_eci = ecef_to_eci(USER.ecef(), float(time_s))
+        gateway_eci = ecef_to_eci(GATEWAY.ecef(), float(time_s))
+        for i in range(count):
+            pos = positions[f"s{i}"]
+            if elevation_angle(user_eci, pos) >= mask:
+                snap.graph.add_edge("user", f"s{i}", delay_s=0.005)
+            if elevation_angle(gateway_eci, pos) >= mask:
+                snap.graph.add_edge("gateway", f"s{i}", delay_s=0.005)
+        snapshots.append(snap)
+    return snapshots
+
+
+def main():
+    rng = np.random.default_rng(5)
+    print(f"{'stage':>6} | {'coverage':>8} | {'realtime':>8} | "
+          f"{'bundles':>8} | {'delay min':>9} | {'capex $M':>9}")
+    print("-" * 64)
+    for stage in STAGES:
+        constellation = random_constellation(stage, rng)
+        coverage = coverage_fraction(constellation.positions_at(0.0), 780.0)
+        snapshots = build_plan(constellation)
+        router = TimeExpandedRouter(snapshots)
+        route = router.earliest_arrival("user", "gateway", 0.0)
+        realtime = route is not None and route.epochs_waited == 0
+        bundles = route is not None
+        delay_min = route.delivery_delay_s / 60.0 if route else float("nan")
+        fleet = build_fleet(constellation, "startup", SizeClass.SMALL)
+        capex = constellation_budget(fleet).total_usd / 1e6
+        print(f"{stage:>6} | {coverage:>8.2f} | "
+              f"{'yes' if realtime else 'no':>8} | "
+              f"{'yes' if bundles else 'no':>8} | "
+              f"{delay_min:>9.1f} | {capex:>9.0f}")
+
+    print(
+        "\nReading: a handful of satellites already sells a delay-tolerant"
+        "\nservice (bundles delivered within the hour); real-time Internet"
+        "\nemerges only near full-constellation scale — the paper's"
+        "\nall-or-nothing barrier, and the reason early players need the"
+        "\nfederated on-ramp OpenSpace proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Shared-spectrum coordination between overlapping operators (paper §2).
+
+Two operators fly overlapping shells in the same downlink band.  From the
+public orbital catalog alone, every participant can compute the same
+interference graph and the same conflict-free channel plan — coordination
+with no central authority.  The example prints the conflict census, the
+coordinated plan, per-operator slot usage, and what uncoordinated random
+channel choice would have collided.
+
+Run:
+    python examples/spectrum_coordination.py
+"""
+
+import numpy as np
+
+from repro.core.spectrum import SpectrumCoordinator
+from repro.orbits.walker import (
+    iridium_like,
+    merge_constellations,
+    random_constellation,
+)
+
+
+def main():
+    rng = np.random.default_rng(9)
+    shells = merge_constellations(
+        [iridium_like(), random_constellation(66, rng)], "dual-shell"
+    )
+    owner_of = {
+        f"sat{i}": ("walker-co" if i < 66 else "random-co")
+        for i in range(len(shells))
+    }
+    positions = {
+        f"sat{i}": p for i, p in enumerate(shells.positions_at(0.0))
+    }
+
+    coordinator = SpectrumCoordinator(min_separation_deg=15.0,
+                                      grid_resolution=16)
+    plan = coordinator.plan(positions)
+
+    print(f"{len(shells)} satellites from 2 operators share one band")
+    print(f"conflicting pairs (a user antenna cannot discriminate them): "
+          f"{len(plan.conflict_edges)}")
+    cross = sum(
+        1 for a, b in plan.conflict_edges if owner_of[a] != owner_of[b]
+    )
+    print(f"  of which cross-operator: {cross} — the pairs no single "
+          "operator could deconflict alone")
+
+    print(f"\ncoordinated plan: {plan.slot_count} channel slots, "
+          f"conflict-free: {plan.is_conflict_free()}")
+    for operator, slots in sorted(plan.slots_by_operator(owner_of).items()):
+        print(f"  {operator}: uses slots {sorted(slots)}")
+
+    print("\nuncoordinated baseline (each operator picks channels at "
+          "random):")
+    for slots in (plan.slot_count, plan.slot_count * 4):
+        collisions = [
+            coordinator.uncoordinated_collisions(
+                positions, slots, np.random.default_rng(100 + trial)
+            )
+            for trial in range(5)
+        ]
+        print(f"  {slots} slots available: "
+              f"{np.mean(collisions):.1f} colliding pairs (mean of 5)")
+
+    print("\nReading: with the public topology, graph coloring resolves"
+          "\nevery conflict in the chromatic number of slots; random choice"
+          "\nkeeps colliding even with 4x the spectrum — the paper's case"
+          "\nthat shared spectrum requires an interoperability standard,"
+          "\nnot just goodwill.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,307 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro`` console script) drives the
+reproduction without writing any code:
+
+* ``figure2a`` / ``figure2b`` / ``figure2c`` — regenerate one paper figure;
+* ``ablations`` — run every design-axis ablation;
+* ``availability`` — reliability and failure-resilience sweeps;
+* ``report`` — fast pass of every experiment, written to RESULTS.md;
+* ``catalog`` — emit the synthetic public TLE catalog for a constellation
+  (the stand-in for the N2YO/AstriaGraph data the paper's routing relies
+  on);
+* ``latency`` — one-shot user-to-Internet latency query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_figure2a(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import figure_2a_constellation
+
+    report = figure_2a_constellation(time_s=args.time)
+    print(f"{report.name}: {report.satellite_count} satellites, "
+          f"{report.plane_count} planes, {report.altitude_km:.0f} km, "
+          f"{report.inclination_deg:.1f} deg")
+    print(f"ISLs: {report.isl_count} (mean {report.mean_isl_distance_km:.0f}"
+          f" km, max {report.max_isl_distance_km:.0f} km), connected: "
+          f"{report.connected}")
+    print(f"coverage: union {report.coverage_union:.3f}, worst-case "
+          f"{report.coverage_worst_case:.3f}")
+    return 0
+
+
+def _cmd_figure2b(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import figure_2b_latency
+
+    counts = args.counts or [4, 10, 16, 25, 40, 55, 70]
+    result = figure_2b_latency(satellite_counts=counts, trials=args.trials,
+                               epochs=args.epochs, seed=args.seed)
+    series = {row["x"]: row for row in result["series"]}
+    print("satellites reachability latency_mean_ms latency_p95_ms")
+    for count in counts:
+        row = series.get(count)
+        reach = result["reachability"][count]
+        if row:
+            print(f"{count:>10} {reach:>12.2f} {row['mean']:>15.1f} "
+                  f"{row['p95']:>14.1f}")
+        else:
+            print(f"{count:>10} {reach:>12.2f} {'--':>15} {'--':>14}")
+    return 0
+
+
+def _cmd_figure2c(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import figure_2c_coverage
+
+    counts = args.counts or [1, 4, 12, 25, 50, 80]
+    rows = figure_2c_coverage(satellite_counts=counts, trials=args.trials,
+                              seed=args.seed)
+    print("satellites union worst_case cluster")
+    for row in rows:
+        print(f"{row['satellites']:>10.0f} {row['union']:>5.2f} "
+              f"{row['worst_case']:>10.2f} {row['cluster']:>7.2f}")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        ablation_economics,
+        ablation_federation,
+        ablation_handover,
+        ablation_isl_mix,
+        ablation_mac,
+    )
+
+    print("== ISL mix ==")
+    for row in ablation_isl_mix():
+        print(f"laser={row['laser_fraction']:.2f} "
+              f"premium_admission={row['premium_admission']:.2f} "
+              f"capex=${row['fleet_capex_musd']:.0f}M")
+    print("== MAC ==")
+    for row in ablation_mac():
+        print(f"stations={row['stations']} "
+              f"csma_delay={row['csma_delay_ms']:.0f}ms "
+              f"tdma_delay={row['tdma_delay_ms']:.0f}ms")
+    print("== Handover ==")
+    result = ablation_handover()
+    print(f"handovers={result['handover_count']} "
+          f"predictive_outage={result['predictive']['total_interruption_s']:.2f}s "
+          f"reauth_outage={result['reauthenticate']['total_interruption_s']:.2f}s")
+    print("== Economics ==")
+    econ = ablation_economics()
+    print(f"fraud caught {econ['mismatches_caught']}/{econ['fraud_injected']}, "
+          f"peering: {econ['peering_recommended']}")
+    print("== Federation ==")
+    for row in ablation_federation():
+        print(f"operators={row['operators']} "
+              f"federated={row['federated_reachability']:.2f} "
+              f"solo={row['solo_reachability']:.2f} "
+              f"capex/op=${row['per_operator_capex_musd']:.0f}M")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.orbits.tle import catalog_from_constellation
+    from repro.orbits.walker import iridium_like, walker_delta, walker_star
+
+    if args.kind == "iridium":
+        constellation = iridium_like()
+    elif args.kind == "star":
+        constellation = walker_star(args.satellites, args.planes)
+    else:
+        constellation = walker_delta(args.satellites, args.planes)
+    for record in catalog_from_constellation(constellation,
+                                             name_prefix=args.prefix):
+        for line in record:
+            print(line)
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    from repro.experiments.availability import (
+        availability_sweep,
+        resilience_sweep,
+    )
+
+    print("== availability vs fleet size ==")
+    for row in availability_sweep(epochs=args.epochs):
+        print(f"{row['satellites']:>4} sats ({row['layout']}): "
+              f"mean availability {row['mean']:.2f}")
+    print("== resilience to failures ==")
+    for row in resilience_sweep(epochs=max(2, args.epochs // 2)):
+        print(f"fail {row['failed_fraction']:.0%}: "
+              f"{row['surviving']} surviving, availability "
+              f"{row['mean_availability']:.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a fast pass of every experiment and write a markdown report."""
+    from repro.experiments.ablations import (
+        ablation_economics,
+        ablation_handover,
+        ablation_isl_mix,
+    )
+    from repro.experiments.availability import resilience_sweep
+    from repro.experiments.figure2 import (
+        figure_2a_constellation,
+        figure_2b_latency,
+        figure_2c_coverage,
+    )
+
+    lines = ["# RESULTS — fast reproduction pass", ""]
+    report = figure_2a_constellation()
+    lines += [
+        "## Figure 2(a)",
+        "",
+        f"- constellation: {report.satellite_count} satellites, "
+        f"{report.plane_count} planes, {report.altitude_km:.0f} km",
+        f"- ISLs: {report.isl_count}, connected: {report.connected}",
+        f"- union coverage: {report.coverage_union:.3f}",
+        "",
+        "## Figure 2(b) — latency vs satellites",
+        "",
+        "| satellites | reachability | mean ms |",
+        "|---|---|---|",
+    ]
+    fig2b = figure_2b_latency(satellite_counts=[4, 16, 40, 70],
+                              trials=args.trials, epochs=6)
+    series = {row["x"]: row for row in fig2b["series"]}
+    for count in (4, 16, 40, 70):
+        row = series.get(count)
+        mean = f"{row['mean']:.1f}" if row else "--"
+        lines.append(
+            f"| {count} | {fig2b['reachability'][count]:.2f} | {mean} |"
+        )
+    lines += ["", "## Figure 2(c) — coverage vs satellites", "",
+              "| satellites | union | worst-case |", "|---|---|---|"]
+    for row in figure_2c_coverage(satellite_counts=[4, 25, 50, 80],
+                                  trials=args.trials):
+        lines.append(
+            f"| {row['satellites']:.0f} | {row['union']:.2f} | "
+            f"{row['worst_case']:.2f} |"
+        )
+    lines += ["", "## Key ablations", ""]
+    mix = ablation_isl_mix(laser_fractions=(0.0, 1.0))
+    lines.append(
+        f"- ISL mix: premium admission {mix[0]['premium_admission']:.2f} "
+        f"(RF-only) vs {mix[-1]['premium_admission']:.2f} (all-laser)"
+    )
+    handover = ablation_handover(duration_s=3600.0)
+    lines.append(
+        f"- handover: predictive outage "
+        f"{handover['predictive']['total_interruption_s']:.2f} s vs reauth "
+        f"{handover['reauthenticate']['total_interruption_s']:.2f} s"
+    )
+    econ = ablation_economics(transfer_count=120)
+    lines.append(
+        f"- ledger: {econ['mismatches_caught']}/{econ['fraud_injected']} "
+        f"fraud caught; peering: {econ['peering_recommended']}"
+    )
+    resilience = resilience_sweep(failure_fractions=(0.0, 0.2, 0.5),
+                                  epochs=3)
+    lines.append(
+        "- resilience: availability "
+        + " -> ".join(
+            f"{row['mean_availability']:.2f}@{row['failed_fraction']:.0%}"
+            for row in resilience
+        )
+    )
+    lines.append("")
+    content = "\n".join(lines)
+    with open(args.output, "w") as handle:
+        handle.write(content)
+    print(f"wrote {args.output} ({len(lines)} lines)")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.core.interop import SizeClass, build_fleet
+    from repro.core.network import OpenSpaceNetwork
+    from repro.ground.station import default_station_network
+    from repro.ground.user import UserTerminal
+    from repro.orbits.coordinates import GeodeticPoint
+    from repro.orbits.walker import iridium_like
+
+    fleet = build_fleet(iridium_like(), "cli", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, default_station_network())
+    user = UserTerminal("cli-user", GeodeticPoint(args.lat, args.lon),
+                        "cli", min_elevation_deg=args.mask)
+    latency = network.user_to_internet_latency_s(user, args.time)
+    if latency is None:
+        print("unreachable: no satellite overhead or no gateway path")
+        return 1
+    print(f"one-way latency from ({args.lat}, {args.lon}): "
+          f"{latency * 1000:.1f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OpenSpace reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2a = sub.add_parser("figure2a", help="reference constellation report")
+    p2a.add_argument("--time", type=float, default=0.0)
+    p2a.set_defaults(func=_cmd_figure2a)
+
+    p2b = sub.add_parser("figure2b", help="latency vs satellite count")
+    p2b.add_argument("--counts", type=int, nargs="*", default=None)
+    p2b.add_argument("--trials", type=int, default=4)
+    p2b.add_argument("--epochs", type=int, default=8)
+    p2b.add_argument("--seed", type=int, default=42)
+    p2b.set_defaults(func=_cmd_figure2b)
+
+    p2c = sub.add_parser("figure2c", help="coverage vs satellite count")
+    p2c.add_argument("--counts", type=int, nargs="*", default=None)
+    p2c.add_argument("--trials", type=int, default=6)
+    p2c.add_argument("--seed", type=int, default=42)
+    p2c.set_defaults(func=_cmd_figure2c)
+
+    pab = sub.add_parser("ablations", help="run every design ablation")
+    pab.set_defaults(func=_cmd_ablations)
+
+    pcat = sub.add_parser("catalog", help="emit a synthetic TLE catalog")
+    pcat.add_argument("--kind", choices=("iridium", "star", "delta"),
+                      default="iridium")
+    pcat.add_argument("--satellites", type=int, default=66)
+    pcat.add_argument("--planes", type=int, default=6)
+    pcat.add_argument("--prefix", default="OPENSPACE")
+    pcat.set_defaults(func=_cmd_catalog)
+
+    prep = sub.add_parser("report",
+                          help="fast pass of every experiment -> RESULTS.md")
+    prep.add_argument("--output", default="RESULTS.md")
+    prep.add_argument("--trials", type=int, default=3)
+    prep.set_defaults(func=_cmd_report)
+
+    pav = sub.add_parser("availability",
+                         help="availability and failure-resilience sweeps")
+    pav.add_argument("--epochs", type=int, default=8)
+    pav.set_defaults(func=_cmd_availability)
+
+    plat = sub.add_parser("latency", help="user-to-Internet latency query")
+    plat.add_argument("--lat", type=float, required=True)
+    plat.add_argument("--lon", type=float, required=True)
+    plat.add_argument("--time", type=float, default=0.0)
+    plat.add_argument("--mask", type=float, default=10.0,
+                      help="user elevation mask, degrees")
+    plat.set_defaults(func=_cmd_latency)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""The multi-operator federation registry.
+
+OpenSpace "proposes networking satellites and ground platforms owned by a
+heterogeneous group of small, medium, and large firms ... we envision
+connecting their satellites as well as ground infrastructure with
+communication links that together results in global coverage."
+
+The federation tracks member operators, validates their fleets against the
+interoperability profile on admission, distributes certificate trust
+anchors, and applies bad-actor quarantine to membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.interop import InteroperabilityProfile, InteropError, SpacecraftSpec
+from repro.ground.station import GroundStation
+from repro.security.badactor import BadActorMonitor
+from repro.security.certificates import CertificateAuthority, TrustStore
+
+
+@dataclass
+class Operator:
+    """One member firm.
+
+    Attributes:
+        name: Operator name (the ``owner`` field on assets).
+        satellites: The operator's fleet.
+        ground_stations: Gateways the operator owns.
+        authority: Its certificate authority (roaming-cert issuer).
+    """
+
+    name: str
+    satellites: List[SpacecraftSpec] = field(default_factory=list)
+    ground_stations: List[GroundStation] = field(default_factory=list)
+    authority: Optional[CertificateAuthority] = None
+
+    def __post_init__(self) -> None:
+        if self.authority is None:
+            self.authority = CertificateAuthority(self.name)
+
+    @property
+    def satellite_count(self) -> int:
+        return len(self.satellites)
+
+
+class Federation:
+    """The OpenSpace membership and trust registry.
+
+    Args:
+        profile: Interoperability profile enforced on admission.
+        monitor: Bad-actor monitor controlling quarantine.
+    """
+
+    def __init__(self, profile: Optional[InteroperabilityProfile] = None,
+                 monitor: Optional[BadActorMonitor] = None):
+        self.profile = profile or InteroperabilityProfile()
+        self.monitor = monitor or BadActorMonitor()
+        self.trust_store = TrustStore()
+        self._operators: Dict[str, Operator] = {}
+
+    def admit(self, operator: Operator) -> None:
+        """Admit an operator after validating its whole fleet.
+
+        Raises:
+            ValueError: Duplicate operator name.
+            InteropError: Any spacecraft failing the profile (the paper's
+                minimal hardware requirement is an admission gate).
+        """
+        if operator.name in self._operators:
+            raise ValueError(f"operator {operator.name!r} already admitted")
+        for spec in operator.satellites:
+            if spec.owner != operator.name:
+                raise InteropError(
+                    f"spacecraft {spec.satellite_id!r} declares owner "
+                    f"{spec.owner!r} but is filed by {operator.name!r}"
+                )
+            self.profile.validate(spec)
+        self._operators[operator.name] = operator
+        self.trust_store.add_authority(operator.authority)
+
+    def operator(self, name: str) -> Operator:
+        """Look up a member (raises KeyError when absent)."""
+        return self._operators[name]
+
+    @property
+    def operators(self) -> List[Operator]:
+        return list(self._operators.values())
+
+    @property
+    def member_names(self) -> List[str]:
+        return sorted(self._operators)
+
+    def active_operators(self) -> List[Operator]:
+        """Members not currently quarantined by the bad-actor monitor."""
+        return [
+            op for op in self._operators.values()
+            if not self.monitor.is_quarantined(op.name)
+        ]
+
+    def all_satellites(self, include_quarantined: bool = False) -> List[SpacecraftSpec]:
+        """The federated fleet (quarantined operators excluded by default).
+
+        Quarantine exclusion is the routing-layer teeth of the paper's
+        "quickly identify and cut off bad actors" requirement.
+        """
+        operators = (
+            self._operators.values() if include_quarantined
+            else self.active_operators()
+        )
+        fleet: List[SpacecraftSpec] = []
+        for op in operators:
+            fleet.extend(op.satellites)
+        return fleet
+
+    def all_ground_stations(self, include_quarantined: bool = False) -> List[GroundStation]:
+        """The federated ground segment."""
+        operators = (
+            self._operators.values() if include_quarantined
+            else self.active_operators()
+        )
+        stations: List[GroundStation] = []
+        for op in operators:
+            stations.extend(op.ground_stations)
+        return stations
+
+    @property
+    def total_satellite_count(self) -> int:
+        return sum(op.satellite_count for op in self._operators.values())

@@ -1,0 +1,247 @@
+"""The OpenSpaceNetwork facade.
+
+Ties the federated fleet, the shared ground-station network, and user
+terminals into one time-varying graph, and answers the end-to-end
+questions the paper's evaluation asks: what is the latency from a user to
+ground infrastructure, and what fraction of the Earth does the system
+cover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.federation import Federation
+from repro.core.interop import SpacecraftSpec
+from repro.ground.station import GroundStation
+from repro.ground.user import UserTerminal
+from repro.isl.topology import IslTopologyBuilder, TopologySnapshot
+from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
+from repro.orbits.kepler import KeplerPropagator
+from repro.orbits.visibility import elevation_angle, slant_range
+from repro.phy.modulation import achievable_rate_bps
+from repro.phy.rf import RFTerminal, rf_link_budget
+from repro.routing.metrics import (
+    EdgeCostModel,
+    RouteMetrics,
+    path_metrics,
+    shortest_path,
+)
+
+
+@dataclass
+class NetworkSnapshot:
+    """The whole-network graph at one instant.
+
+    Nodes carry a ``kind`` attribute (``"satellite"``, ``"ground_station"``
+    or ``"user"``) and an ``owner`` attribute; edges carry ``delay_s``,
+    ``capacity_bps`` and (for ground edges) ``owner``, ``tariff_per_gb``,
+    ``queue_delay_s``.
+
+    Attributes:
+        time_s: Snapshot timestamp.
+        graph: The combined graph.
+        isl_snapshot: The satellite-only topology this was built from.
+    """
+
+    time_s: float
+    graph: nx.Graph
+    isl_snapshot: TopologySnapshot
+
+    def route(self, source: str, target: str,
+              cost_model: Optional[EdgeCostModel] = None) -> Optional[RouteMetrics]:
+        """Cheapest route between two nodes, or None when disconnected."""
+        path = shortest_path(self.graph, source, target, cost_model)
+        if path is None:
+            return None
+        return path_metrics(self.graph, path)
+
+    def nodes_of_kind(self, kind: str) -> List[str]:
+        return [
+            node for node, data in self.graph.nodes(data=True)
+            if data.get("kind") == kind
+        ]
+
+    def nearest_ground_station_route(
+        self, source: str,
+        cost_model: Optional[EdgeCostModel] = None,
+    ) -> Optional[RouteMetrics]:
+        """Best route from a node to any ground station."""
+        best: Optional[RouteMetrics] = None
+        for station in self.nodes_of_kind("ground_station"):
+            metrics = self.route(source, station, cost_model)
+            if metrics is None:
+                continue
+            if best is None or metrics.total_delay_s < best.total_delay_s:
+                best = metrics
+        return best
+
+
+class OpenSpaceNetwork:
+    """Builds :class:`NetworkSnapshot` objects for a federated deployment.
+
+    Args:
+        satellites: The federated fleet (from
+            :meth:`Federation.all_satellites` or assembled directly).
+        ground_stations: The shared gateway network.
+        max_isl_range_km: ISL range limit passed to the topology builder.
+        ground_elevation_mask_deg: Minimum elevation for ground links.
+        gateway_dish_m: Station-side dish diameter used when deriving the
+            station terminal matched to each satellite's ground band.
+    """
+
+    def __init__(self, satellites: Sequence[SpacecraftSpec],
+                 ground_stations: Sequence[GroundStation] = (),
+                 max_isl_range_km: float = 6000.0,
+                 ground_elevation_mask_deg: float = 10.0,
+                 gateway_dish_m: float = 3.5):
+        if not satellites:
+            raise ValueError("need at least one satellite")
+        self.satellites = list(satellites)
+        self.ground_stations = list(ground_stations)
+        self.ground_elevation_mask_deg = ground_elevation_mask_deg
+        self.gateway_dish_m = gateway_dish_m
+        self._builder = IslTopologyBuilder(
+            [spec.to_isl_node() for spec in self.satellites],
+            max_range_km=max_isl_range_km,
+        )
+        self._propagators = {
+            spec.satellite_id: KeplerPropagator(spec.elements)
+            for spec in self.satellites
+        }
+        self._spec_by_id = {
+            spec.satellite_id: spec for spec in self.satellites
+        }
+
+    @classmethod
+    def from_federation(cls, federation: Federation,
+                        **kwargs) -> "OpenSpaceNetwork":
+        """Build from a federation's active (non-quarantined) members."""
+        return cls(
+            satellites=federation.all_satellites(),
+            ground_stations=federation.all_ground_stations(),
+            **kwargs,
+        )
+
+    def satellite_positions(self, time_s: float) -> Dict[str, np.ndarray]:
+        """ECI position of every satellite at ``time_s``."""
+        return {
+            sat_id: prop.position_at(time_s)
+            for sat_id, prop in self._propagators.items()
+        }
+
+    def _ground_edge(self, spec: SpacecraftSpec, sat_pos: np.ndarray,
+                     station: GroundStation, station_pos: np.ndarray) -> Optional[dict]:
+        """Edge attributes for a satellite-station link, or None if unusable."""
+        elevation = elevation_angle(station_pos, sat_pos)
+        if elevation < math.radians(max(
+            self.ground_elevation_mask_deg, station.min_elevation_deg
+        )):
+            return None
+        distance = slant_range(station_pos, sat_pos)
+        capacity = 0.0
+        if spec.ground_terminal is not None:
+            station_terminal = RFTerminal(
+                band_name=spec.ground_terminal.band_name,
+                tx_power_w=50.0,
+                dish_diameter_m=self.gateway_dish_m,
+                noise_temp_k=180.0,
+                mass_kg=400.0,
+                unit_cost_usd=500_000.0,
+            )
+            budget = rf_link_budget(
+                spec.ground_terminal, station_terminal, distance,
+                elevation_rad=elevation,
+                rain_rate_mm_h=station.rain_rate_mm_h,
+            )
+            capacity = achievable_rate_bps(budget.snr_db, budget.bandwidth_hz)
+        if capacity <= 0.0:
+            return None
+        return {
+            "delay_s": distance / SPEED_OF_LIGHT_KM_S,
+            "capacity_bps": min(capacity, station.backhaul_capacity_bps),
+            "owner": station.owner,
+            "tariff_per_gb": station.visitor_tariff_per_gb(),
+            "queue_delay_s": station.queue_delay_s(),
+            "kind": "ground_link",
+        }
+
+    def snapshot(self, time_s: float,
+                 users: Sequence[UserTerminal] = ()) -> NetworkSnapshot:
+        """Build the whole-network graph at one instant.
+
+        Satellites are joined by the ISL topology builder; each ground
+        station connects to every satellite above its elevation mask whose
+        ground link closes; each user connects to every satellite above
+        the user's mask (capacity from the user terminal's budget).
+        """
+        positions = self.satellite_positions(time_s)
+        isl_snap = self._builder.snapshot(time_s, positions)
+        graph = isl_snap.graph.copy()
+        for spec in self.satellites:
+            graph.nodes[spec.satellite_id]["kind"] = "satellite"
+            graph.nodes[spec.satellite_id]["owner"] = spec.owner
+
+        for station in self.ground_stations:
+            station_pos = station.position_eci(time_s)
+            graph.add_node(
+                station.station_id, kind="ground_station", owner=station.owner
+            )
+            for spec in self.satellites:
+                attrs = self._ground_edge(
+                    spec, positions[spec.satellite_id], station, station_pos
+                )
+                if attrs is not None:
+                    graph.add_edge(spec.satellite_id, station.station_id, **attrs)
+
+        for user in users:
+            user_pos = user.position_eci(time_s)
+            graph.add_node(user.user_id, kind="user", owner=user.home_provider)
+            mask_rad = math.radians(user.min_elevation_deg)
+            for spec in self.satellites:
+                sat_pos = positions[spec.satellite_id]
+                if elevation_angle(user_pos, sat_pos) < mask_rad:
+                    continue
+                distance = slant_range(user_pos, sat_pos)
+                capacity = 0.0
+                if spec.ground_terminal is not None:
+                    budget = rf_link_budget(
+                        spec.ground_terminal, user.terminal, distance,
+                        elevation_rad=elevation_angle(user_pos, sat_pos),
+                    )
+                    capacity = achievable_rate_bps(
+                        budget.snr_db, budget.bandwidth_hz
+                    )
+                if capacity <= 0.0:
+                    continue
+                graph.add_edge(
+                    user.user_id, spec.satellite_id,
+                    delay_s=distance / SPEED_OF_LIGHT_KM_S,
+                    capacity_bps=capacity,
+                    owner=spec.owner,
+                    kind="access_link",
+                )
+
+        return NetworkSnapshot(time_s=time_s, graph=graph, isl_snapshot=isl_snap)
+
+    def user_to_internet_latency_s(self, user: UserTerminal, time_s: float,
+                                   cost_model: Optional[EdgeCostModel] = None) -> Optional[float]:
+        """One-way latency from a user to the nearest Internet gateway.
+
+        This is the paper's Figure 2(b) measurement: "compute the shortest
+        path between the satellite that picks up the user's signal, and the
+        satellite that will relay that signal to the ground station, and
+        use this path length to estimate latency."
+
+        Returns None when the user has no path to any gateway.
+        """
+        snap = self.snapshot(time_s, users=[user])
+        metrics = snap.nearest_ground_station_route(user.user_id, cost_model)
+        if metrics is None:
+            return None
+        return metrics.total_delay_s

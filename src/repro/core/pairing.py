@@ -1,0 +1,290 @@
+"""The inter-satellite pairing handshake.
+
+"When a satellite receives a beacon from another satellite, it can
+initiate pairing by broadcasting a pair request which contains its
+technical specifications (for example whether optical links are supported,
+and the exact position of its laser diodes) enabling laser beamforming if
+the two satellites have the capability and available bandwidth for optical
+links.  The two satellites can then orient themselves such that their
+communication terminals are well positioned for data transfer."
+
+The protocol always succeeds in establishing the mandatory RF link first
+(RF antennas broadcast, so no pointing is needed), then optionally
+upgrades to optical: both sides exchange laser boresights, slew, and run
+PAT acquisition.  The outcome records the established link and every
+timing component, which the pairing benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.beacon import Beacon
+from repro.core.interop import SpacecraftSpec
+from repro.isl.link import IslLink, best_link_between
+from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
+from repro.phy.optical import PATController
+
+
+@dataclass(frozen=True)
+class PairRequest:
+    """The spec-exchange message that initiates pairing.
+
+    Attributes:
+        initiator_id: The satellite requesting the pair.
+        supports_optical: Whether the initiator can do laser links.
+        laser_boresights_deg: Body-frame mount azimuths of its laser
+            terminals.
+        rf_bands: RF ISL bands the initiator supports.
+        free_isl_slots: Spare concurrent-ISL capacity.
+    """
+
+    initiator_id: str
+    supports_optical: bool
+    laser_boresights_deg: Tuple[float, ...]
+    rf_bands: Tuple[str, ...]
+    free_isl_slots: int
+
+    @classmethod
+    def from_spec(cls, spec: SpacecraftSpec) -> "PairRequest":
+        return cls(
+            initiator_id=spec.satellite_id,
+            supports_optical=spec.supports_optical,
+            laser_boresights_deg=tuple(spec.laser_boresights_deg),
+            rf_bands=tuple(t.band_name for t in spec.rf_isl_terminals),
+            free_isl_slots=max(
+                0,
+                spec.power.max_concurrent_isls - spec.power.active_isl_count,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PairingOutcome:
+    """Result of one pairing attempt.
+
+    Attributes:
+        link: The established ISL (None when pairing failed entirely).
+        rf_handshake_s: Time for the RF beacon/pair-request/confirm
+            exchange (three one-way trips plus processing).
+        slew_s: Attitude slew time when an optical upgrade ran (0 for RF).
+        pat_s: PAT acquisition time for the optical upgrade (0 for RF).
+        upgraded_to_optical: True when the final link is a laser link.
+        failure_reason: Populated when ``link`` is None.
+    """
+
+    link: Optional[IslLink]
+    rf_handshake_s: float
+    slew_s: float
+    pat_s: float
+    upgraded_to_optical: bool
+    failure_reason: str = ""
+
+    @property
+    def total_time_s(self) -> float:
+        return self.rf_handshake_s + self.slew_s + self.pat_s
+
+    @property
+    def succeeded(self) -> bool:
+        return self.link is not None
+
+
+def predict_hold_duration_s(spec_a: SpacecraftSpec, spec_b: SpacecraftSpec,
+                            start_s: float, horizon_s: float = 3600.0,
+                            step_s: float = 30.0,
+                            max_range_km: float = 6000.0) -> float:
+    """How long a pair will stay linkable, from public orbital knowledge.
+
+    "While the information on when and how to spin is available up-front
+    in monolithic networks, this information must be discovered on the fly
+    in a heterogeneous network" — discovered, but still *computed*: both
+    sides know each other's published elements after the spec exchange, so
+    the expected hold (and hence whether a laser upgrade amortizes) is a
+    deterministic orbital calculation.
+
+    Args:
+        spec_a: One spacecraft.
+        spec_b: The other.
+        start_s: Evaluation start time.
+        horizon_s: How far ahead to look.
+        step_s: Scan step.
+
+    Returns:
+        Seconds from ``start_s`` until line of sight or range is first
+        lost (0 when the pair is not linkable at ``start_s``;
+        ``horizon_s`` when the link holds through the whole horizon).
+    """
+    from repro.orbits.kepler import KeplerPropagator
+    from repro.orbits.visibility import has_line_of_sight
+
+    if horizon_s <= 0.0 or step_s <= 0.0:
+        raise ValueError(
+            f"horizon and step must be positive, got {horizon_s}, {step_s}"
+        )
+    prop_a = KeplerPropagator(spec_a.elements)
+    prop_b = KeplerPropagator(spec_b.elements)
+    elapsed = 0.0
+    while elapsed <= horizon_s:
+        t = start_s + elapsed
+        pos_a = prop_a.position_at(t)
+        pos_b = prop_b.position_at(t)
+        distance = float(np.linalg.norm(pos_a - pos_b))
+        if distance > max_range_km or not has_line_of_sight(pos_a, pos_b):
+            return elapsed
+        elapsed += step_s
+    return horizon_s
+
+
+class PairingProtocol:
+    """Runs the pairing handshake between two spacecraft.
+
+    Args:
+        per_message_processing_s: Onboard processing per handshake message.
+        min_optical_hold_s: Do not bother upgrading to optical unless the
+            pair expects to hold the link at least this long (the slew+PAT
+            investment must amortize).
+    """
+
+    def __init__(self, per_message_processing_s: float = 0.005,
+                 min_optical_hold_s: float = 30.0):
+        self.per_message_processing_s = per_message_processing_s
+        self.min_optical_hold_s = min_optical_hold_s
+
+    def _rf_handshake_time(self, distance_km: float) -> float:
+        """Beacon + pair request + confirm: three one-way trips."""
+        one_way = distance_km / SPEED_OF_LIGHT_KM_S
+        return 3.0 * (one_way + self.per_message_processing_s)
+
+    def _required_slew_deg(self, spec: SpacecraftSpec,
+                           bearing_deg: float) -> float:
+        """Smallest rotation aligning any laser boresight with a bearing."""
+        if not spec.laser_boresights_deg:
+            return 180.0
+        errors = []
+        for boresight in spec.laser_boresights_deg:
+            delta = abs((bearing_deg - boresight + 180.0) % 360.0 - 180.0)
+            errors.append(delta)
+        return min(errors)
+
+    def pair(self, spec_a: SpacecraftSpec, spec_b: SpacecraftSpec,
+             distance_km: float,
+             bearing_a_to_b_deg: float = 0.0,
+             expected_hold_s: float = 600.0) -> PairingOutcome:
+        """Attempt to pair two spacecraft at the given geometry.
+
+        Args:
+            spec_a: Initiator spacecraft.
+            spec_b: Responder spacecraft.
+            distance_km: Current slant range.
+            bearing_a_to_b_deg: Body-frame bearing from A to B (drives the
+                slew needed to point A's laser; B's slew mirrors it).
+            expected_hold_s: How long orbital prediction says the pair will
+                stay in range — short encounters skip the optical upgrade.
+
+        Returns:
+            A :class:`PairingOutcome`; RF-only when either side lacks
+            optical, has no free power, or the encounter is too short.
+        """
+        if distance_km <= 0.0:
+            raise ValueError(f"distance must be positive, got {distance_km}")
+        rf_time = self._rf_handshake_time(distance_km)
+
+        rf_link = best_link_between(
+            spec_a.satellite_id, spec_a.rf_isl_terminals,
+            spec_b.satellite_id, spec_b.rf_isl_terminals,
+            distance_km,
+        )
+        if rf_link is None:
+            return PairingOutcome(
+                link=None, rf_handshake_s=rf_time, slew_s=0.0, pat_s=0.0,
+                upgraded_to_optical=False,
+                failure_reason=(
+                    f"no common RF band closes at {distance_km:.0f} km "
+                    f"(a: {[t.band_name for t in spec_a.rf_isl_terminals]}, "
+                    f"b: {[t.band_name for t in spec_b.rf_isl_terminals]})"
+                ),
+            )
+
+        wants_optical = (
+            spec_a.supports_optical
+            and spec_b.supports_optical
+            and expected_hold_s >= self.min_optical_hold_s
+        )
+        if wants_optical:
+            # Both sides must afford the laser terminal's draw.
+            draw_w = 60.0
+            wants_optical = (
+                spec_a.power.can_activate_isl(draw_w)
+                and spec_b.power.can_activate_isl(draw_w)
+            )
+        if not wants_optical:
+            return PairingOutcome(
+                link=rf_link, rf_handshake_s=rf_time, slew_s=0.0, pat_s=0.0,
+                upgraded_to_optical=False,
+            )
+
+        optical_link = best_link_between(
+            spec_a.satellite_id, spec_a.isl_terminals,
+            spec_b.satellite_id, spec_b.isl_terminals,
+            distance_km,
+        )
+        if optical_link is None or optical_link.technology.is_rf:
+            return PairingOutcome(
+                link=rf_link, rf_handshake_s=rf_time, slew_s=0.0, pat_s=0.0,
+                upgraded_to_optical=False,
+            )
+
+        slew_a = spec_a.slew.slew_time_s(
+            self._required_slew_deg(spec_a, bearing_a_to_b_deg)
+        )
+        slew_b = spec_b.slew.slew_time_s(
+            self._required_slew_deg(spec_b, (bearing_a_to_b_deg + 180.0) % 360.0)
+        )
+        slew_s = max(slew_a, slew_b)
+
+        optical_terminal = next(
+            t for t in spec_a.isl_terminals
+            if not hasattr(t, "band_name")
+        )
+        pat = PATController(optical_terminal)
+        pat_s = pat.acquisition_time_s()
+
+        return PairingOutcome(
+            link=optical_link,
+            rf_handshake_s=rf_time,
+            slew_s=slew_s,
+            pat_s=pat_s,
+            upgraded_to_optical=True,
+        )
+
+    def pair_from_beacon(self, receiver: SpacecraftSpec, beacon: Beacon,
+                         time_s: float,
+                         receiver_position: np.ndarray,
+                         expected_hold_s: float = 600.0) -> PairingOutcome:
+        """Pairing initiated by hearing a beacon (receiver initiates).
+
+        The sender's spec is reconstructed from the beacon's advertised
+        fields; distance comes from propagating the advertised elements.
+        """
+        sender_position = beacon.position_at(time_s)
+        distance = float(np.linalg.norm(
+            np.asarray(receiver_position, dtype=float) - sender_position
+        ))
+        # A beacon carries enough to build a partner stand-in spec: the
+        # actual terminals are negotiated over the RF link after contact.
+        partner = SpacecraftSpec(
+            satellite_id=beacon.satellite_id,
+            owner=beacon.owner,
+            size_class=receiver.size_class,
+            elements=beacon.elements,
+            isl_terminals=list(receiver.isl_terminals)
+            if beacon.supports_optical
+            else list(receiver.rf_isl_terminals),
+            laser_boresights_deg=[0.0] if beacon.supports_optical else [],
+        )
+        return self.pair(
+            receiver, partner, distance, expected_hold_s=expected_hold_s
+        )

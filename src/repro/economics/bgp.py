@@ -1,0 +1,169 @@
+"""BGP-style autonomous-system economics (the traditional baseline).
+
+"The BGP cost model is a hierarchical relationship between different ASs
+which agree to route traffic through each other's infrastructure.  Much of
+BGP involves providers (often larger ASes) charging customers (smaller
+ASes) with fees for bi-directional traffic, based on mutually agreed upon
+contracts."
+
+The model implements Gao-Rexford relationships (customer/provider, peer,
+sibling), valley-free path validity, and the resulting money flows —
+the comparator the ledger-based OpenSpace model is evaluated against in
+the economics ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class RelationshipKind(enum.Enum):
+    """Gao-Rexford business relationship between two ASes."""
+
+    CUSTOMER_PROVIDER = "customer_provider"  # first pays second
+    PEER = "peer"                            # settlement-free
+    SIBLING = "sibling"                      # same organization
+
+
+@dataclass(frozen=True)
+class AsRelationship:
+    """One contracted relationship.
+
+    Attributes:
+        a: First AS name (the customer in CUSTOMER_PROVIDER).
+        b: Second AS name (the provider in CUSTOMER_PROVIDER).
+        kind: Relationship kind.
+        price_per_gb: $/GB the customer pays the provider (0 for peers
+            and siblings).
+    """
+
+    a: str
+    b: str
+    kind: RelationshipKind
+    price_per_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.price_per_gb < 0.0:
+            raise ValueError(f"price must be >= 0, got {self.price_per_gb}")
+        if self.kind is not RelationshipKind.CUSTOMER_PROVIDER and self.price_per_gb:
+            raise ValueError(f"{self.kind.value} relationships are settlement-free")
+
+
+class BgpEconomy:
+    """A set of ASes, their relationships, and traffic settlement.
+
+    The key limitation the paper identifies — "the notion of a 'customer'
+    and a 'provider' in BGP is not translatable to a meshed system like
+    OpenSpace since the infrastructure that belongs to the different
+    entities are mobile" — shows up here as :meth:`is_valley_free`
+    rejecting the provider-customer-provider weaves that satellite paths
+    naturally produce.
+    """
+
+    def __init__(self):
+        self._relationships: Dict[Tuple[str, str], AsRelationship] = {}
+        self._ases: set = set()
+        self.balances: Dict[str, float] = {}
+
+    def add_relationship(self, relationship: AsRelationship) -> None:
+        """Register a relationship (symmetric lookup)."""
+        key = (relationship.a, relationship.b)
+        if key in self._relationships or key[::-1] in self._relationships:
+            raise ValueError(
+                f"relationship between {relationship.a!r} and "
+                f"{relationship.b!r} already exists"
+            )
+        self._relationships[key] = relationship
+        self._ases.update(key)
+        for as_name in key:
+            self.balances.setdefault(as_name, 0.0)
+
+    def relationship_between(self, a: str, b: str) -> Optional[AsRelationship]:
+        return self._relationships.get((a, b)) or self._relationships.get((b, a))
+
+    def _edge_type(self, from_as: str, to_as: str) -> Optional[str]:
+        """Direction-sensitive edge type: 'up' (to provider), 'down', 'peer'."""
+        rel = self.relationship_between(from_as, to_as)
+        if rel is None:
+            return None
+        if rel.kind is RelationshipKind.PEER:
+            return "peer"
+        if rel.kind is RelationshipKind.SIBLING:
+            return "sibling"
+        # CUSTOMER_PROVIDER: a is the customer of b.
+        return "up" if from_as == rel.a else "down"
+
+    def is_valley_free(self, as_path: Sequence[str]) -> bool:
+        """Gao-Rexford export validity of an AS path.
+
+        A valid path is uphill (customer->provider) edges, then at most one
+        peer edge, then downhill edges; siblings are transparent.  Paths
+        with missing relationships are invalid.
+        """
+        if len(as_path) < 2:
+            return True
+        phase = "up"  # up -> peer -> down
+        for from_as, to_as in zip(as_path[:-1], as_path[1:]):
+            edge = self._edge_type(from_as, to_as)
+            if edge is None:
+                return False
+            if edge == "sibling":
+                continue
+            if edge == "up":
+                if phase != "up":
+                    return False
+            elif edge == "peer":
+                if phase == "down":
+                    return False
+                phase = "down"
+            else:  # down
+                phase = "down"
+        return True
+
+    def settle_path(self, as_path: Sequence[str], gigabytes: float,
+                    require_valley_free: bool = True) -> Dict[str, float]:
+        """Settle traffic along an AS path; returns per-AS balance deltas.
+
+        On every customer->provider or provider->customer edge the customer
+        pays the contracted rate (BGP transit is billed regardless of
+        direction); peer and sibling edges are free.
+
+        Raises:
+            ValueError: When the path is not valley-free (and checking is
+                on) or uses an uncontracted adjacency.
+        """
+        if gigabytes < 0.0:
+            raise ValueError(f"gigabytes must be >= 0, got {gigabytes}")
+        if require_valley_free and not self.is_valley_free(as_path):
+            raise ValueError(
+                f"path {list(as_path)} is not valley-free under the "
+                "contracted relationships"
+            )
+        deltas: Dict[str, float] = {}
+        for from_as, to_as in zip(as_path[:-1], as_path[1:]):
+            rel = self.relationship_between(from_as, to_as)
+            if rel is None:
+                raise ValueError(
+                    f"no relationship contracted between {from_as!r} and {to_as!r}"
+                )
+            if rel.kind is RelationshipKind.CUSTOMER_PROVIDER:
+                amount = rel.price_per_gb * gigabytes
+                deltas[rel.a] = deltas.get(rel.a, 0.0) - amount
+                deltas[rel.b] = deltas.get(rel.b, 0.0) + amount
+        for as_name, delta in deltas.items():
+            self.balances[as_name] = self.balances.get(as_name, 0.0) + delta
+        return deltas
+
+    def valley_free_fraction(self, as_paths: Sequence[Sequence[str]]) -> float:
+        """Fraction of observed AS paths the BGP model can even express.
+
+        The economics ablation runs real OpenSpace routing paths through
+        this check to quantify how badly the hierarchical model fits a
+        meshed satellite system.
+        """
+        if not as_paths:
+            return 1.0
+        valid = sum(1 for path in as_paths if self.is_valley_free(path))
+        return valid / len(as_paths)

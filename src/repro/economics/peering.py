@@ -1,0 +1,110 @@
+"""Peering recommendation.
+
+"If two providers realize they are routing similar amounts of traffic
+through each other's systems, and that their routing paths are heavily
+interdependent, they may decide to peer."
+
+The advisor inspects the ledger's carried-traffic matrix and recommends
+peering for pairs whose mutual volumes are both substantial and
+symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.economics.ledger import TrafficLedger
+
+
+@dataclass(frozen=True)
+class PeeringRecommendation:
+    """One recommended (or evaluated) peering.
+
+    Attributes:
+        isp_a: First provider.
+        isp_b: Second provider.
+        a_through_b_gb: A's traffic carried by B.
+        b_through_a_gb: B's traffic carried by A.
+        symmetry: ``min/max`` of the two volumes (1.0 = perfectly
+            symmetric).
+        recommended: Whether the advisor recommends peering.
+        rationale: Human-readable explanation.
+    """
+
+    isp_a: str
+    isp_b: str
+    a_through_b_gb: float
+    b_through_a_gb: float
+    symmetry: float
+    recommended: bool
+    rationale: str
+
+    @property
+    def mutual_volume_gb(self) -> float:
+        return self.a_through_b_gb + self.b_through_a_gb
+
+
+class PeeringAdvisor:
+    """Recommends peering from cross-verified traffic volumes.
+
+    Args:
+        min_mutual_gb: Minimum combined bidirectional volume before
+            peering is worth the contractual overhead.
+        min_symmetry: Minimum min/max volume ratio; asymmetric pairs keep
+            the customer/carrier relationship instead.
+    """
+
+    def __init__(self, min_mutual_gb: float = 100.0,
+                 min_symmetry: float = 0.5):
+        if min_mutual_gb < 0.0:
+            raise ValueError(f"min mutual volume must be >= 0, got {min_mutual_gb}")
+        if not 0.0 <= min_symmetry <= 1.0:
+            raise ValueError(f"min symmetry must be in [0, 1], got {min_symmetry}")
+        self.min_mutual_gb = min_mutual_gb
+        self.min_symmetry = min_symmetry
+
+    def evaluate_pair(self, isp_a: str, isp_b: str,
+                      matrix: Dict[Tuple[str, str], float]) -> PeeringRecommendation:
+        """Evaluate one pair against the carried-traffic matrix."""
+        a_via_b = matrix.get((isp_a, isp_b), 0.0)
+        b_via_a = matrix.get((isp_b, isp_a), 0.0)
+        high = max(a_via_b, b_via_a)
+        symmetry = (min(a_via_b, b_via_a) / high) if high > 0.0 else 0.0
+        mutual = a_via_b + b_via_a
+        if mutual < self.min_mutual_gb:
+            return PeeringRecommendation(
+                isp_a, isp_b, a_via_b, b_via_a, symmetry, False,
+                f"mutual volume {mutual:.1f} GB below threshold "
+                f"{self.min_mutual_gb:.1f} GB",
+            )
+        if symmetry < self.min_symmetry:
+            return PeeringRecommendation(
+                isp_a, isp_b, a_via_b, b_via_a, symmetry, False,
+                f"volumes too asymmetric (symmetry {symmetry:.2f} < "
+                f"{self.min_symmetry:.2f}); transit relationship fits better",
+            )
+        return PeeringRecommendation(
+            isp_a, isp_b, a_via_b, b_via_a, symmetry, True,
+            f"symmetric interdependence: {a_via_b:.1f} GB vs "
+            f"{b_via_a:.1f} GB (symmetry {symmetry:.2f})",
+        )
+
+    def recommendations(self, ledger: TrafficLedger) -> List[PeeringRecommendation]:
+        """Evaluate every provider pair appearing in the ledger.
+
+        Returns:
+            Recommendations for all pairs with any mutual traffic,
+            recommended ones first, then by mutual volume descending.
+        """
+        matrix = ledger.carried_matrix()
+        providers = sorted(
+            {src for src, _ in matrix} | {car for _, car in matrix}
+        )
+        results = []
+        for i, isp_a in enumerate(providers):
+            for isp_b in providers[i + 1:]:
+                if (isp_a, isp_b) in matrix or (isp_b, isp_a) in matrix:
+                    results.append(self.evaluate_pair(isp_a, isp_b, matrix))
+        results.sort(key=lambda r: (not r.recommended, -r.mutual_volume_gb))
+        return results

@@ -1,0 +1,65 @@
+"""CSV export for experiment results.
+
+Every driver returns plain row dicts; these helpers write them as CSV so
+users can plot with whatever they like.  Stdlib ``csv`` only.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+def rows_to_csv(rows: Sequence[Dict], path: Union[str, Path],
+                columns: Sequence[str] = None) -> int:
+    """Write experiment rows to a CSV file.
+
+    Args:
+        rows: Row dicts (as returned by the experiment drivers).
+        path: Output file.
+        columns: Column order; defaults to the union of keys in first-seen
+            order.
+
+    Returns:
+        Number of data rows written.
+
+    Raises:
+        ValueError: On empty input (an empty export usually means a wiring
+            bug upstream).
+    """
+    if not rows:
+        raise ValueError("no rows to export")
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns),
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def figure_2b_to_csv(result: Dict, path: Union[str, Path]) -> int:
+    """Flatten a :func:`figure_2b_latency` result into a CSV."""
+    rows: List[Dict] = []
+    series = {row["x"]: row for row in result["series"]}
+    for count, reachability in sorted(result["reachability"].items()):
+        row = {"satellites": count, "reachability": reachability}
+        if count in series:
+            row.update({
+                "latency_mean_ms": series[count]["mean"],
+                "latency_p50_ms": series[count]["p50"],
+                "latency_p95_ms": series[count]["p95"],
+                "samples": series[count]["n"],
+            })
+        rows.append(row)
+    return rows_to_csv(rows, path, columns=[
+        "satellites", "reachability", "latency_mean_ms", "latency_p50_ms",
+        "latency_p95_ms", "samples",
+    ])

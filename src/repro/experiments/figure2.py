@@ -1,0 +1,266 @@
+"""Figure 2 regeneration (the paper's entire quantitative evaluation).
+
+* **2(a)** — the simulated OpenSpace constellation: an Iridium-like Walker
+  Star (66 satellites, 780 km, 6 near-polar planes) "achiev[ing] global
+  coverage while maintaining inter-satellite distances and trajectories
+  that allow for simple and sustained ISLs."
+* **2(b)** — propagation latency vs constellation size: latency falls
+  sharply up to ~25 satellites then plateaus around 30 ms; about four
+  satellites are the minimum for any connectivity.
+* **2(c)** — coverage vs constellation size: total earth coverage around
+  50 satellites; extra satellites buy redundancy.
+
+Methodology follows the paper: fixed user and ground-station coordinates,
+randomly distributed satellite orbital paths, shortest path between the
+pickup satellite and the relay satellite, path length -> latency, and the
+worst-case overlap rule for coverage (with the union estimate reported
+alongside; see EXPERIMENTS.md for the estimator discussion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.isl.topology import IslNode, IslTopologyBuilder
+from repro.orbits.constants import (
+    IRIDIUM_ALTITUDE_KM,
+    SPEED_OF_LIGHT_KM_S,
+)
+from repro.orbits.coordinates import GeodeticPoint, ecef_to_eci
+from repro.orbits.visibility import (
+    cluster_coverage_fraction,
+    coverage_fraction,
+    elevation_angle,
+    slant_range,
+    worst_case_coverage_fraction,
+)
+from repro.orbits.walker import iridium_like, random_constellation
+from repro.phy.rf import standard_sband_isl_terminal
+from repro.simulation.metrics import SeriesCollector
+
+#: The paper's fixed endpoints: a user in an underserved region and a
+#: gateway on another continent (exact coordinates are not given in the
+#: paper; these choices are documented in EXPERIMENTS.md).
+DEFAULT_USER_SITE = GeodeticPoint(-1.29, 36.82, 0.0)      # Nairobi
+DEFAULT_GATEWAY_SITE = GeodeticPoint(50.11, 8.68, 0.0)    # Frankfurt
+
+
+@dataclass
+class ConstellationReport:
+    """Figure 2(a): the reference constellation's headline properties.
+
+    Attributes:
+        name: Constellation label.
+        satellite_count: Total satellites.
+        plane_count: Orbital planes.
+        altitude_km: Constellation altitude.
+        inclination_deg: Plane inclination.
+        isl_count: Established ISLs at epoch.
+        mean_isl_distance_km: Mean established-ISL slant range.
+        max_isl_distance_km: Longest established ISL.
+        connected: Whether the ISL graph is a single component.
+        coverage_union: Footprint-union coverage fraction.
+        coverage_worst_case: Paper-rule (pairwise overlap) coverage.
+    """
+
+    name: str
+    satellite_count: int
+    plane_count: int
+    altitude_km: float
+    inclination_deg: float
+    isl_count: int
+    mean_isl_distance_km: float
+    max_isl_distance_km: float
+    connected: bool
+    coverage_union: float
+    coverage_worst_case: float
+
+
+def figure_2a_constellation(time_s: float = 0.0) -> ConstellationReport:
+    """Build and characterize the paper's reference constellation."""
+    constellation = iridium_like()
+    positions = constellation.positions_at(time_s)
+    ids = [f"sat{i}" for i in range(len(constellation))]
+    nodes = [
+        IslNode(ids[i], [standard_sband_isl_terminal()], max_degree=4)
+        for i in range(len(constellation))
+    ]
+    builder = IslTopologyBuilder(nodes)
+    snap = builder.snapshot(time_s, dict(zip(ids, positions)))
+    distances = [
+        data["link"].distance_km for _, _, data in snap.graph.edges(data=True)
+    ]
+    elements = constellation.elements[0]
+    return ConstellationReport(
+        name=constellation.name,
+        satellite_count=len(constellation),
+        plane_count=constellation.plane_count,
+        altitude_km=elements.altitude_km,
+        inclination_deg=math.degrees(elements.inclination_rad),
+        isl_count=snap.link_count,
+        mean_isl_distance_km=float(np.mean(distances)) if distances else 0.0,
+        max_isl_distance_km=float(np.max(distances)) if distances else 0.0,
+        connected=nx.is_connected(snap.graph),
+        coverage_union=coverage_fraction(positions, elements.altitude_km),
+        coverage_worst_case=worst_case_coverage_fraction(
+            positions, elements.altitude_km
+        ),
+    )
+
+
+def _relay_latency_s(positions: np.ndarray, user_eci: np.ndarray,
+                     gateway_eci: np.ndarray,
+                     min_elevation_deg: float = 10.0,
+                     max_isl_range_km: float = 6000.0) -> Optional[float]:
+    """The paper's Figure 2(b) measurement for one constellation state.
+
+    Shortest propagation path: user -> pickup satellite -> (ISLs) ->
+    relay satellite -> ground station.  Pure geometry — every
+    line-of-sight pair within ISL range is a usable relay hop, matching
+    the paper's "simplified simulation".
+
+    Returns None when the user or gateway sees no satellite, or the relay
+    graph does not connect them.
+    """
+    count = positions.shape[0]
+    mask_rad = math.radians(min_elevation_deg)
+    graph = nx.Graph()
+    graph.add_node("user")
+    graph.add_node("gateway")
+    for i in range(count):
+        graph.add_node(i)
+        if elevation_angle(user_eci, positions[i]) >= mask_rad:
+            graph.add_edge("user", i,
+                           delay_s=slant_range(user_eci, positions[i])
+                           / SPEED_OF_LIGHT_KM_S)
+        if elevation_angle(gateway_eci, positions[i]) >= mask_rad:
+            graph.add_edge("gateway", i,
+                           delay_s=slant_range(gateway_eci, positions[i])
+                           / SPEED_OF_LIGHT_KM_S)
+    from repro.orbits.visibility import has_line_of_sight
+    for i in range(count):
+        for j in range(i + 1, count):
+            distance = slant_range(positions[i], positions[j])
+            if distance > max_isl_range_km:
+                continue
+            if not has_line_of_sight(positions[i], positions[j]):
+                continue
+            graph.add_edge(i, j, delay_s=distance / SPEED_OF_LIGHT_KM_S)
+    try:
+        return nx.dijkstra_path_length(graph, "user", "gateway",
+                                       weight="delay_s")
+    except nx.NetworkXNoPath:
+        return None
+
+
+def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
+                          list(range(4, 30, 3)) + [35, 45, 55, 70]),
+                      trials: int = 4,
+                      epochs: int = 6,
+                      seed: int = 42,
+                      altitude_km: float = IRIDIUM_ALTITUDE_KM,
+                      user_site: GeodeticPoint = DEFAULT_USER_SITE,
+                      gateway_site: GeodeticPoint = DEFAULT_GATEWAY_SITE) -> Dict:
+    """Propagation latency vs constellation size (paper Figure 2(b)).
+
+    For each satellite count, ``trials`` random constellations are drawn;
+    each is sampled at ``epochs`` instants spread over one day (satellites
+    orbit and the Earth rotates, so a satellite eventually "orbit[s] in
+    range of the user's or ground station's location" — the paper's
+    minimum-four-satellites guarantee is a temporal statement).  Latency is
+    collected over the reachable epochs; reachability is the fraction of
+    epochs with any relay path.
+
+    Returns:
+        ``{"series": [...rows...], "reachability": {count: fraction}}``
+        where each series row is ``{"x", "mean", "p50", "p95", "n"}`` with
+        latency in milliseconds.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    if epochs < 1:
+        raise ValueError(f"need at least one epoch, got {epochs}")
+    rng = np.random.default_rng(seed)
+    epoch_times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
+    series = SeriesCollector("latency_ms")
+    reachability: Dict[int, float] = {}
+    for count in satellite_counts:
+        reached = 0
+        total = 0
+        for _ in range(trials):
+            constellation = random_constellation(count, rng,
+                                                 altitude_km=altitude_km)
+            propagators = constellation.propagators()
+            for time_s in epoch_times:
+                total += 1
+                positions = np.array(
+                    [p.position_at(float(time_s)) for p in propagators]
+                )
+                user_eci = ecef_to_eci(user_site.ecef(), float(time_s))
+                gateway_eci = ecef_to_eci(gateway_site.ecef(), float(time_s))
+                latency = _relay_latency_s(positions, user_eci,
+                                           gateway_eci,
+                                           min_elevation_deg=0.0)
+                if latency is not None:
+                    series.add(count, latency * 1000.0)
+                    reached += 1
+        reachability[count] = reached / total
+    rows = []
+    for x in series.xs():
+        stats = series.summary_at(x)
+        rows.append({
+            "x": x, "mean": stats.mean, "p50": stats.p50,
+            "p95": stats.p95, "n": stats.count,
+        })
+    return {"series": rows, "reachability": reachability}
+
+
+def figure_2c_coverage(satellite_counts: Sequence[int] = tuple(
+                           [1, 2, 4, 8, 12, 16, 20, 25, 30, 40, 50, 60, 70, 80]),
+                       trials: int = 6,
+                       seed: int = 42,
+                       altitude_km: float = IRIDIUM_ALTITUDE_KM) -> List[Dict]:
+    """Coverage vs constellation size (paper Figure 2(c)).
+
+    Reports three estimators per count:
+
+    * ``union`` — true footprint-union coverage (grid estimate); this is
+      the series whose shape matches the paper's curve, reaching total
+      earth coverage around 50 satellites;
+    * ``worst_case`` — the paper's stated pairwise-overlap rule, which
+      saturates at the disjoint-cap packing limit;
+    * ``cluster`` — the strictest transitive reading (sensitivity bound).
+
+    Returns:
+        One row per satellite count:
+        ``{"satellites", "union", "worst_case", "cluster"}`` (trial means).
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    rng = np.random.default_rng(seed)
+    rows = []
+    for count in satellite_counts:
+        union_vals, worst_vals, cluster_vals = [], [], []
+        for _ in range(trials):
+            constellation = random_constellation(count, rng,
+                                                 altitude_km=altitude_km)
+            positions = constellation.positions_at(0.0)
+            union_vals.append(coverage_fraction(positions, altitude_km))
+            worst_vals.append(
+                worst_case_coverage_fraction(positions, altitude_km)
+            )
+            cluster_vals.append(
+                cluster_coverage_fraction(positions, altitude_km)
+            )
+        rows.append({
+            "satellites": count,
+            "union": float(np.mean(union_vals)),
+            "worst_case": float(np.mean(worst_vals)),
+            "cluster": float(np.mean(cluster_vals)),
+        })
+    return rows

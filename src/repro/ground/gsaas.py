@@ -1,0 +1,112 @@
+"""Ground-station-as-a-service pricing.
+
+"These ground stations build on the pay-per-use ground-station-as-a-service
+model, much like today's AWS Ground Station, except that in OpenSpace
+ground stations could be owned by independent entities, which may price
+their services differently."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class GatewayPricing:
+    """One station's rate card.
+
+    Attributes:
+        base_rate_per_gb: $/GB for the owner's own traffic.
+        visitor_rate_per_gb: $/GB for traffic from other providers.
+        congestion_multiplier: Factor applied to visitor traffic as
+            utilization climbs — the paper's "higher tariffs on 'visitor'
+            traffic" under high load.  The surcharge ramps linearly above
+            the congestion threshold.
+        congestion_threshold: Utilization above which surcharging starts.
+        per_pass_fee: Flat fee per satellite contact (AWS-GS-style
+            per-minute/per-pass element, folded to one number).
+    """
+
+    base_rate_per_gb: float = 0.02
+    visitor_rate_per_gb: float = 0.05
+    congestion_multiplier: float = 3.0
+    congestion_threshold: float = 0.7
+    per_pass_fee: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_per_gb < 0.0 or self.visitor_rate_per_gb < 0.0:
+            raise ValueError("rates must be >= 0")
+        if not 0.0 <= self.congestion_threshold <= 1.0:
+            raise ValueError(
+                f"congestion threshold must be in [0, 1], got "
+                f"{self.congestion_threshold}"
+            )
+
+    def effective_rate_per_gb(self, utilization: float,
+                              visitor: bool) -> float:
+        """Current $/GB given gateway utilization and traffic class."""
+        utilization = min(1.0, max(0.0, utilization))
+        rate = self.visitor_rate_per_gb if visitor else self.base_rate_per_gb
+        if visitor and utilization > self.congestion_threshold:
+            overload = (utilization - self.congestion_threshold) / max(
+                1e-9, 1.0 - self.congestion_threshold
+            )
+            rate *= 1.0 + overload * (self.congestion_multiplier - 1.0)
+        return rate
+
+
+@dataclass
+class GatewayUsageMeter:
+    """Tracks metered usage of one gateway by many providers.
+
+    "Ground stations should measure traffic through their gateways from
+    users associated with different providers" — this is that meter; its
+    records feed the cross-verifiable settlement ledger.
+    """
+
+    station_id: str
+    owner: str
+    pricing: GatewayPricing = field(default_factory=GatewayPricing)
+    bytes_by_provider: Dict[str, float] = field(default_factory=dict)
+    passes_by_provider: Dict[str, int] = field(default_factory=dict)
+
+    def record_transfer(self, provider: str, transferred_bytes: float,
+                        utilization: float = 0.0) -> float:
+        """Meter a transfer; returns the charge in dollars.
+
+        Args:
+            provider: Provider whose traffic crossed the gateway.
+            transferred_bytes: Bytes transferred.
+            utilization: Gateway utilization at transfer time (drives the
+                visitor congestion surcharge).
+        """
+        if transferred_bytes < 0.0:
+            raise ValueError(f"bytes must be >= 0, got {transferred_bytes}")
+        self.bytes_by_provider[provider] = (
+            self.bytes_by_provider.get(provider, 0.0) + transferred_bytes
+        )
+        visitor = provider != self.owner
+        rate = self.pricing.effective_rate_per_gb(utilization, visitor)
+        return rate * transferred_bytes / 1e9
+
+    def record_pass(self, provider: str) -> float:
+        """Meter one satellite contact; returns the per-pass fee."""
+        self.passes_by_provider[provider] = (
+            self.passes_by_provider.get(provider, 0) + 1
+        )
+        return 0.0 if provider == self.owner else self.pricing.per_pass_fee
+
+    def statement(self) -> List[Tuple[str, float, int]]:
+        """Per-provider (bytes, passes) usage statement, provider-sorted."""
+        providers = sorted(
+            set(self.bytes_by_provider) | set(self.passes_by_provider)
+        )
+        return [
+            (
+                provider,
+                self.bytes_by_provider.get(provider, 0.0),
+                self.passes_by_provider.get(provider, 0),
+            )
+            for provider in providers
+        ]

@@ -1,0 +1,164 @@
+"""Antenna-time scheduling at shared ground stations.
+
+Gateway antennas are the scarce physical resource the paper's
+ground-station-as-a-service model sells: a dish tracks one satellite at a
+time, so overlapping contact requests from different providers must be
+arbitrated.  The scheduler implements weighted interval scheduling with a
+greedy earliest-deadline heuristic across N antennas, plus per-provider
+accounting that feeds the GS-aaS meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.orbits.contact import ContactWindow
+
+
+@dataclass(frozen=True)
+class ContactRequest:
+    """One provider's request for antenna time.
+
+    Attributes:
+        request_id: Unique identifier.
+        provider: Requesting operator.
+        window: The orbital visibility window the contact must fit in.
+        min_duration_s: Shortest useful contact (shorter grants are
+            worthless — the pass setup overhead dominates).
+        priority: Larger = more important (owner traffic typically wins).
+    """
+
+    request_id: str
+    provider: str
+    window: ContactWindow
+    min_duration_s: float = 60.0
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_duration_s <= 0.0:
+            raise ValueError(
+                f"min duration must be positive, got {self.min_duration_s}"
+            )
+        if self.window.duration_s <= 0.0:
+            raise ValueError("window must have positive duration")
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A granted antenna slot."""
+
+    request_id: str
+    provider: str
+    antenna: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduling round.
+
+    Attributes:
+        reservations: Granted slots.
+        rejected: Requests that could not be placed.
+        antenna_busy_s: Busy time per antenna index.
+    """
+
+    reservations: List[Reservation] = field(default_factory=list)
+    rejected: List[ContactRequest] = field(default_factory=list)
+    antenna_busy_s: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def grant_ratio(self) -> float:
+        total = len(self.reservations) + len(self.rejected)
+        if total == 0:
+            return 0.0
+        return len(self.reservations) / total
+
+    def provider_time_s(self) -> Dict[str, float]:
+        """Granted antenna seconds per provider (GS-aaS billing input)."""
+        usage: Dict[str, float] = {}
+        for reservation in self.reservations:
+            usage[reservation.provider] = (
+                usage.get(reservation.provider, 0.0) + reservation.duration_s
+            )
+        return usage
+
+
+class AntennaScheduler:
+    """Schedules contact requests onto a station's antennas.
+
+    Greedy by (priority desc, earliest window end): high-priority
+    requests choose first; within a priority class, earliest-deadline-
+    first maximizes the number of grants (the classic interval-scheduling
+    argument).  A request is placed on the first antenna with enough
+    contiguous free time inside its window.
+
+    Args:
+        antenna_count: Dishes at the station.
+        slew_gap_s: Dead time an antenna needs between consecutive
+            contacts (repointing).
+    """
+
+    def __init__(self, antenna_count: int = 1, slew_gap_s: float = 30.0):
+        if antenna_count < 1:
+            raise ValueError(f"need >= 1 antenna, got {antenna_count}")
+        if slew_gap_s < 0.0:
+            raise ValueError(f"slew gap must be >= 0, got {slew_gap_s}")
+        self.antenna_count = antenna_count
+        self.slew_gap_s = slew_gap_s
+
+    def schedule(self, requests: Sequence[ContactRequest]) -> ScheduleResult:
+        """Produce a reservation plan for one batch of requests."""
+        result = ScheduleResult(
+            antenna_busy_s={index: 0.0 for index in range(self.antenna_count)}
+        )
+        # (start, end) reservations per antenna, kept sorted.
+        booked: List[List[Tuple[float, float]]] = [
+            [] for _ in range(self.antenna_count)
+        ]
+        ordered = sorted(
+            requests,
+            key=lambda r: (-r.priority, r.window.end_s, r.request_id),
+        )
+        for request in ordered:
+            placed = self._place(request, booked)
+            if placed is None:
+                result.rejected.append(request)
+                continue
+            antenna, start, end = placed
+            booked[antenna].append((start, end))
+            booked[antenna].sort()
+            result.reservations.append(Reservation(
+                request_id=request.request_id,
+                provider=request.provider,
+                antenna=antenna,
+                start_s=start,
+                end_s=end,
+            ))
+            result.antenna_busy_s[antenna] += end - start
+        return result
+
+    def _place(self, request: ContactRequest,
+               booked: List[List[Tuple[float, float]]]) -> Optional[Tuple[int, float, float]]:
+        """Find the first antenna/interval fitting the request."""
+        window = request.window
+        for antenna in range(self.antenna_count):
+            # Candidate free gaps inside the window, respecting slew gaps.
+            slots = booked[antenna]
+            cursor = window.start_s
+            for start, end in slots + [(window.end_s + self.slew_gap_s,
+                                        window.end_s + self.slew_gap_s)]:
+                free_until = min(start - self.slew_gap_s, window.end_s)
+                if free_until - cursor >= request.min_duration_s:
+                    grant_end = min(free_until, window.end_s)
+                    return antenna, cursor, grant_end
+                cursor = max(cursor, end + self.slew_gap_s)
+                if cursor >= window.end_s:
+                    break
+        return None

@@ -1,0 +1,26 @@
+"""Inter-satellite link substrate.
+
+Models the links themselves (RF minimum / optional laser, per the OpenSpace
+interoperability profile), the power economics of establishing them (the
+paper notes "the power cost of executing rotations for ISLs and
+establishing those links" limits how many ISLs a satellite can run), and
+the time-varying ISL topology built from propagated orbital state.
+"""
+
+from repro.isl.link import (
+    IslLink,
+    LinkTechnology,
+    best_link_between,
+)
+from repro.isl.power import PowerBudget, SlewModel
+from repro.isl.topology import IslTopologyBuilder, TopologySnapshot
+
+__all__ = [
+    "IslLink",
+    "LinkTechnology",
+    "best_link_between",
+    "PowerBudget",
+    "SlewModel",
+    "IslTopologyBuilder",
+    "TopologySnapshot",
+]

@@ -1,0 +1,167 @@
+"""The inter-satellite link abstraction.
+
+An :class:`IslLink` binds two spacecraft terminals of a mutually supported
+technology at a given range, and exposes the capacity, latency, and power
+figures the routing and economics layers consume.  Per the OpenSpace
+profile, "satellites should be able to communicate through either RF
+signals or laser technology, depending on the specifications and current
+load of the spacecraft involved" — :func:`best_link_between` implements
+that selection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
+from repro.phy.linkbudget import LinkBudget
+from repro.phy.modulation import achievable_rate_bps
+from repro.phy.optical import OpticalTerminal, optical_link_budget
+from repro.phy.rf import RFTerminal, rf_link_budget
+
+Terminal = Union[RFTerminal, OpticalTerminal]
+
+
+class LinkTechnology(enum.Enum):
+    """ISL technology classes in the OpenSpace interoperability profile."""
+
+    RF_UHF = "rf_uhf"
+    RF_SBAND = "rf_sband"
+    OPTICAL = "optical"
+
+    @property
+    def is_rf(self) -> bool:
+        return self in (LinkTechnology.RF_UHF, LinkTechnology.RF_SBAND)
+
+
+_BAND_TO_TECH = {"uhf": LinkTechnology.RF_UHF, "s_band": LinkTechnology.RF_SBAND}
+
+
+def technology_of(terminal: Terminal) -> Optional[LinkTechnology]:
+    """Classify a terminal as an ISL technology (None for ground bands)."""
+    if isinstance(terminal, OpticalTerminal):
+        return LinkTechnology.OPTICAL
+    return _BAND_TO_TECH.get(terminal.band_name)
+
+
+@dataclass(frozen=True)
+class IslLink:
+    """One established (or candidate) inter-satellite link.
+
+    Attributes:
+        node_a: Identifier of one endpoint (satellite id).
+        node_b: Identifier of the other endpoint.
+        technology: Selected link technology.
+        distance_km: Slant range at evaluation time.
+        budget: Full link-budget detail.
+        capacity_bps: MODCOD-limited data rate (0 when the link does not
+            close; such links are filtered out by the topology builder).
+    """
+
+    node_a: str
+    node_b: str
+    technology: LinkTechnology
+    distance_km: float
+    budget: LinkBudget
+    capacity_bps: float
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """One-way speed-of-light delay across the link."""
+        return self.distance_km / SPEED_OF_LIGHT_KM_S
+
+    @property
+    def usable(self) -> bool:
+        """True when the link closes with nonzero capacity."""
+        return self.capacity_bps > 0.0
+
+    def serialization_delay_s(self, frame_bits: float = 12_000.0) -> float:
+        """Time to clock one frame onto the link (infinite when unusable)."""
+        if not self.usable:
+            return float("inf")
+        return frame_bits / self.capacity_bps
+
+
+def _evaluate(node_a: str, node_b: str, tech: LinkTechnology,
+              term_a: Terminal, term_b: Terminal,
+              distance_km: float) -> IslLink:
+    """Build an :class:`IslLink` for one concrete terminal pairing."""
+    if tech is LinkTechnology.OPTICAL:
+        budget = optical_link_budget(term_a, term_b, distance_km)
+        # Optical capacity: Shannon-limited but clipped to the terminal's
+        # electrical bandwidth at a practical 2 bps/Hz.
+        capacity = min(
+            budget.shannon_capacity_bps,
+            2.0 * min(term_a.data_bandwidth_hz, term_b.data_bandwidth_hz),
+        )
+        if budget.snr_db < 3.0:
+            capacity = 0.0
+    else:
+        budget = rf_link_budget(term_a, term_b, distance_km)
+        capacity = achievable_rate_bps(budget.snr_db, budget.bandwidth_hz)
+    return IslLink(
+        node_a=node_a,
+        node_b=node_b,
+        technology=tech,
+        distance_km=distance_km,
+        budget=budget,
+        capacity_bps=capacity,
+    )
+
+
+def candidate_links(node_a: str, terminals_a: Sequence[Terminal],
+                    node_b: str, terminals_b: Sequence[Terminal],
+                    distance_km: float) -> Iterable[IslLink]:
+    """Every mutually supported technology pairing between two spacecraft."""
+    by_tech_a = {}
+    by_tech_b = {}
+    for terminal in terminals_a:
+        tech = technology_of(terminal)
+        if tech is not None:
+            by_tech_a.setdefault(tech, terminal)
+    for terminal in terminals_b:
+        tech = technology_of(terminal)
+        if tech is not None:
+            by_tech_b.setdefault(tech, terminal)
+    for tech in by_tech_a.keys() & by_tech_b.keys():
+        yield _evaluate(
+            node_a, node_b, tech, by_tech_a[tech], by_tech_b[tech], distance_km
+        )
+
+
+def best_link_between(node_a: str, terminals_a: Sequence[Terminal],
+                      node_b: str, terminals_b: Sequence[Terminal],
+                      distance_km: float,
+                      prefer_optical: bool = True) -> Optional[IslLink]:
+    """Pick the best usable link between two spacecraft.
+
+    "Satellites must permit RF-based communication links at a minimum and
+    optionally also support standardized laser-based links" — so the best
+    link is the highest-capacity usable candidate, which in practice means
+    optical when both sides carry (and can afford) a laser terminal, and
+    the best RF band otherwise.
+
+    Args:
+        node_a: Identifier of one endpoint.
+        terminals_a: Its ISL-capable terminals.
+        node_b: Identifier of the other endpoint.
+        terminals_b: Its ISL-capable terminals.
+        distance_km: Slant range.
+        prefer_optical: When False, optical candidates are skipped — used
+            when a spacecraft's power budget cannot afford laser pointing.
+
+    Returns:
+        The selected :class:`IslLink`, or None when no candidate closes.
+    """
+    best: Optional[IslLink] = None
+    for link in candidate_links(node_a, terminals_a, node_b, terminals_b,
+                                distance_km):
+        if not prefer_optical and link.technology is LinkTechnology.OPTICAL:
+            continue
+        if not link.usable:
+            continue
+        if best is None or link.capacity_bps > best.capacity_bps:
+            best = link
+    return best

@@ -1,0 +1,108 @@
+"""Orbital mechanics substrate for OpenSpace.
+
+This subpackage provides everything the paper's simulation study relies on:
+Keplerian orbit propagation (with optional J2 secular perturbations),
+coordinate transforms between inertial, Earth-fixed, and geodetic frames,
+Walker Star / Delta constellation generators (the paper's Iridium-like
+reference design), a TLE parser/emitter standing in for the public orbital
+catalogs the paper cites (N2YO, AstriaGraph), and geometric visibility /
+coverage computations.
+
+All angles are radians and all distances are kilometres unless a name says
+otherwise (``*_deg``, ``*_m``).
+"""
+
+from repro.orbits.constants import (
+    EARTH_RADIUS_KM,
+    EARTH_MU_KM3_S2,
+    EARTH_J2,
+    EARTH_ROTATION_RAD_S,
+    SPEED_OF_LIGHT_KM_S,
+    SIDEREAL_DAY_S,
+)
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.kepler import (
+    KeplerPropagator,
+    mean_motion,
+    orbital_period,
+    solve_kepler,
+)
+from repro.orbits.coordinates import (
+    GeodeticPoint,
+    ecef_to_geodetic,
+    eci_to_ecef,
+    ecef_to_eci,
+    geodetic_to_ecef,
+    look_angles,
+)
+from repro.orbits.walker import (
+    WalkerConstellation,
+    walker_delta,
+    walker_star,
+    iridium_like,
+    cbo_reference,
+)
+from repro.orbits.visibility import (
+    cluster_coverage_fraction,
+    coverage_fraction,
+    elevation_angle,
+    footprint_half_angle,
+    footprint_area_km2,
+    has_line_of_sight,
+    is_visible,
+    slant_range,
+    worst_case_coverage_fraction,
+)
+from repro.orbits.tle import TwoLineElement, elements_from_tle, tle_from_elements
+from repro.orbits.contact import ContactWindow, contact_windows
+from repro.orbits.eclipse import (
+    eclipse_fraction,
+    eclipse_windows,
+    in_eclipse,
+    orbit_average_generation_w,
+    sun_direction,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "EARTH_MU_KM3_S2",
+    "EARTH_J2",
+    "EARTH_ROTATION_RAD_S",
+    "SPEED_OF_LIGHT_KM_S",
+    "SIDEREAL_DAY_S",
+    "OrbitalElements",
+    "KeplerPropagator",
+    "mean_motion",
+    "orbital_period",
+    "solve_kepler",
+    "GeodeticPoint",
+    "ecef_to_geodetic",
+    "eci_to_ecef",
+    "ecef_to_eci",
+    "geodetic_to_ecef",
+    "look_angles",
+    "WalkerConstellation",
+    "walker_delta",
+    "walker_star",
+    "iridium_like",
+    "cbo_reference",
+    "cluster_coverage_fraction",
+    "coverage_fraction",
+    "elevation_angle",
+    "footprint_half_angle",
+    "footprint_area_km2",
+    "has_line_of_sight",
+    "is_visible",
+    "slant_range",
+    "worst_case_coverage_fraction",
+    "TwoLineElement",
+    "elements_from_tle",
+    "tle_from_elements",
+    "ContactWindow",
+    "contact_windows",
+    "eclipse_fraction",
+    "eclipse_windows",
+    "in_eclipse",
+    "orbit_average_generation_w",
+    "sun_direction",
+]

@@ -1,0 +1,154 @@
+"""Contact-window prediction.
+
+Because every OpenSpace participant can see the public orbital catalog, the
+set of overhead satellites at any ground location — and the times at which
+they will be available — is "entirely predictable".  This module computes
+those prediction tables: time windows during which a satellite is visible
+from a ground point (or two satellites have line of sight), which feed the
+proactive routing and predictive handover machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.orbits.coordinates import GeodeticPoint, ecef_to_eci
+from repro.orbits.kepler import KeplerPropagator
+from repro.orbits.visibility import elevation_angle, has_line_of_sight
+import math
+
+
+@dataclass(frozen=True)
+class ContactWindow:
+    """One visibility interval between a ground point and a satellite.
+
+    Attributes:
+        satellite_index: Index of the satellite in the fleet being scanned.
+        start_s: Window start, simulation seconds (rise time).
+        end_s: Window end, simulation seconds (set time).
+        max_elevation_rad: Peak elevation reached during the window.
+    """
+
+    satellite_index: int
+    start_s: float
+    end_s: float
+    max_elevation_rad: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def contains(self, time_s: float) -> bool:
+        """True when ``time_s`` falls within this window."""
+        return self.start_s <= time_s <= self.end_s
+
+
+def contact_windows(ground: GeodeticPoint,
+                    propagators: List[KeplerPropagator],
+                    start_s: float, end_s: float, step_s: float = 10.0,
+                    min_elevation_deg: float = 10.0) -> List[ContactWindow]:
+    """Scan for visibility windows between a ground point and a fleet.
+
+    A straightforward fixed-step scan: adequate because LEO passes last
+    minutes while the default step is ten seconds.  Window edges are refined
+    by bisection to sub-second accuracy.
+
+    Args:
+        ground: Ground observer.
+        propagators: One propagator per satellite.
+        start_s: Scan start time.
+        end_s: Scan end time.
+        step_s: Coarse scan step.
+        min_elevation_deg: Elevation mask.
+
+    Returns:
+        Windows sorted by start time (then satellite index).
+    """
+    if end_s <= start_s:
+        raise ValueError(f"end {end_s} must be after start {start_s}")
+    if step_s <= 0.0:
+        raise ValueError(f"step must be positive, got {step_s}")
+    mask_rad = math.radians(min_elevation_deg)
+    ground_ecef = ground.ecef()
+    windows: List[ContactWindow] = []
+
+    def elevation(sat: KeplerPropagator, t: float) -> float:
+        # Compare in the inertial frame: rotate the ground point to ECI.
+        ground_eci = ecef_to_eci(ground_ecef, t)
+        return elevation_angle(ground_eci, sat.position_at(t))
+
+    def refine(sat: KeplerPropagator, lo: float, hi: float,
+               rising: bool) -> float:
+        # Bisect for the elevation-mask crossing between lo and hi.
+        for _ in range(24):
+            mid = (lo + hi) / 2.0
+            above = elevation(sat, mid) >= mask_rad
+            if above == rising:
+                hi = mid
+            else:
+                lo = mid
+        return (lo + hi) / 2.0
+
+    times = np.arange(start_s, end_s + step_s, step_s)
+    for index, sat in enumerate(propagators):
+        above_prev = elevation(sat, float(times[0])) >= mask_rad
+        window_start: Optional[float] = float(times[0]) if above_prev else None
+        max_elev = elevation(sat, float(times[0])) if above_prev else -math.pi
+        for t_prev, t in zip(times[:-1], times[1:]):
+            elev = elevation(sat, float(t))
+            above = elev >= mask_rad
+            if above and not above_prev:
+                window_start = refine(sat, float(t_prev), float(t), rising=True)
+                max_elev = elev
+            elif above:
+                max_elev = max(max_elev, elev)
+            elif above_prev and window_start is not None:
+                window_end = refine(sat, float(t_prev), float(t), rising=False)
+                windows.append(
+                    ContactWindow(index, window_start, window_end, max_elev)
+                )
+                window_start = None
+            above_prev = above
+        if window_start is not None:
+            windows.append(
+                ContactWindow(index, window_start, float(times[-1]), max_elev)
+            )
+    windows.sort(key=lambda w: (w.start_s, w.satellite_index))
+    return windows
+
+
+def isl_feasibility_schedule(propagators: List[KeplerPropagator],
+                             start_s: float, end_s: float,
+                             step_s: float = 30.0,
+                             max_range_km: Optional[float] = None) -> dict:
+    """For each satellite pair, the fraction of time an ISL is feasible.
+
+    Feasible means line-of-sight above the atmosphere and (optionally)
+    within ``max_range_km``.  Used by the topology planner to pick stable
+    ISL assignments.
+
+    Returns:
+        Mapping ``(i, j) -> feasible_fraction`` for ``i < j``.
+    """
+    times = np.arange(start_s, end_s + step_s, step_s)
+    count = len(propagators)
+    feasible = {}
+    positions = [
+        np.array([sat.position_at(float(t)) for t in times])
+        for sat in propagators
+    ]
+    for i in range(count):
+        for j in range(i + 1, count):
+            hits = 0
+            for k in range(len(times)):
+                pos_i, pos_j = positions[i][k], positions[j][k]
+                if max_range_km is not None:
+                    if float(np.linalg.norm(pos_i - pos_j)) > max_range_km:
+                        continue
+                if has_line_of_sight(pos_i, pos_j):
+                    hits += 1
+            feasible[(i, j)] = hits / len(times)
+    return feasible

@@ -1,0 +1,112 @@
+"""Eclipse geometry and orbit-average solar power.
+
+Spacecraft in OpenSpace "differ in energy budgets" (§2); the dominant
+driver is eclipse time — in the Earth's shadow panels generate nothing and
+ISLs run off the battery.  The model is the standard cylindrical-shadow
+approximation: a satellite is eclipsed when it is on the anti-sun side and
+its distance from the shadow axis is less than the Earth's radius.
+
+The sun direction is modelled as a unit vector advancing around the
+ecliptic with simulation time (epoch t=0 at the vernal equinox), which is
+accurate enough for eclipse-fraction statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.orbits.constants import EARTH_RADIUS_KM
+from repro.orbits.kepler import KeplerPropagator
+
+#: Obliquity of the ecliptic, radians.
+ECLIPTIC_OBLIQUITY_RAD = math.radians(23.439)
+
+#: Length of the (modelled) year, seconds.
+YEAR_S = 365.25 * 86400.0
+
+
+def sun_direction(time_s: float) -> np.ndarray:
+    """Unit vector from the Earth to the Sun in ECI at ``time_s``.
+
+    The Sun advances uniformly along the ecliptic from the vernal equinox
+    at t=0 — a mean-sun model, adequate for eclipse statistics.
+    """
+    mean_longitude = 2.0 * math.pi * (time_s / YEAR_S)
+    cos_l, sin_l = math.cos(mean_longitude), math.sin(mean_longitude)
+    cos_e, sin_e = math.cos(ECLIPTIC_OBLIQUITY_RAD), math.sin(
+        ECLIPTIC_OBLIQUITY_RAD
+    )
+    return np.array([cos_l, sin_l * cos_e, sin_l * sin_e])
+
+
+def in_eclipse(position_eci_km: np.ndarray, time_s: float) -> bool:
+    """Whether a satellite is inside the Earth's (cylindrical) shadow."""
+    position = np.asarray(position_eci_km, dtype=float)
+    sun = sun_direction(time_s)
+    along_sun = float(position @ sun)
+    if along_sun >= 0.0:
+        return False  # sunward side: lit
+    radial = position - along_sun * sun
+    return float(np.linalg.norm(radial)) < EARTH_RADIUS_KM
+
+
+def eclipse_fraction(propagator: KeplerPropagator, start_s: float = 0.0,
+                     samples: int = 120) -> float:
+    """Fraction of one orbit spent in eclipse (sampled).
+
+    Args:
+        propagator: The satellite's propagator.
+        start_s: Orbit start time (the sun direction is effectively
+            frozen over one LEO orbit).
+        samples: Samples around the orbit.
+
+    Returns:
+        Eclipse fraction in [0, 1]; LEO orbits see up to ~40%.
+    """
+    if samples < 2:
+        raise ValueError(f"need at least 2 samples, got {samples}")
+    period = propagator.period_s
+    eclipsed = 0
+    for k in range(samples):
+        t = start_s + period * k / samples
+        if in_eclipse(propagator.position_at(t), t):
+            eclipsed += 1
+    return eclipsed / samples
+
+
+def orbit_average_generation_w(panel_power_w: float,
+                               propagator: KeplerPropagator,
+                               start_s: float = 0.0,
+                               samples: int = 120) -> float:
+    """Orbit-average electrical generation given full-sun panel power.
+
+    The number to put into :class:`~repro.isl.power.PowerBudget` as
+    ``solar_generation_w`` — the budget treats generation as
+    eclipse-averaged.
+    """
+    if panel_power_w < 0.0:
+        raise ValueError(f"panel power must be >= 0, got {panel_power_w}")
+    fraction = eclipse_fraction(propagator, start_s, samples)
+    return panel_power_w * (1.0 - fraction)
+
+
+def eclipse_windows(propagator: KeplerPropagator, start_s: float,
+                    end_s: float, step_s: float = 30.0) -> list:
+    """``(entry_s, exit_s)`` eclipse intervals over a time span."""
+    if end_s <= start_s:
+        raise ValueError(f"end {end_s} must be after start {start_s}")
+    windows = []
+    entry: float = None
+    times = np.arange(start_s, end_s + step_s, step_s)
+    for t in times:
+        dark = in_eclipse(propagator.position_at(float(t)), float(t))
+        if dark and entry is None:
+            entry = float(t)
+        elif not dark and entry is not None:
+            windows.append((entry, float(t)))
+            entry = None
+    if entry is not None:
+        windows.append((entry, float(times[-1])))
+    return windows

@@ -1,0 +1,172 @@
+"""Keplerian orbit propagation with optional J2 secular perturbations.
+
+The propagator turns :class:`~repro.orbits.elements.OrbitalElements` into
+Earth-Centred Inertial (ECI) position and velocity vectors at an arbitrary
+simulation time.  For the near-circular LEO orbits the paper studies, the
+dominant perturbation is the Earth's oblateness (J2), which causes secular
+drift of the ascending node and the argument of perigee; both are modelled.
+
+The module deliberately avoids any external ephemeris dependencies so the
+whole stack is self-contained, per the reproduction's substitution rule
+(synthetic orbital data in place of the radar-tracked catalogs the paper
+cites).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.orbits.constants import EARTH_J2, EARTH_MU_KM3_S2, EARTH_RADIUS_KM
+from repro.orbits.elements import OrbitalElements
+
+_TWO_PI = 2.0 * math.pi
+
+
+def mean_motion(semi_major_axis_km: float) -> float:
+    """Mean motion ``n = sqrt(mu/a^3)`` in rad/s for the given ``a``."""
+    if semi_major_axis_km <= 0.0:
+        raise ValueError(f"semi-major axis must be positive, got {semi_major_axis_km}")
+    return math.sqrt(EARTH_MU_KM3_S2 / semi_major_axis_km**3)
+
+
+def orbital_period(semi_major_axis_km: float) -> float:
+    """Orbital period in seconds for the given semi-major axis."""
+    return _TWO_PI / mean_motion(semi_major_axis_km)
+
+
+def solve_kepler(mean_anomaly_rad: float, eccentricity: float, tol: float = 1e-12,
+                 max_iterations: int = 50) -> float:
+    """Solve Kepler's equation ``M = E - e sin E`` for eccentric anomaly E.
+
+    Uses Newton-Raphson with a starting guess of ``M`` (adequate for the
+    small eccentricities of LEO orbits, but the iteration converges for any
+    ``e < 1``).
+
+    Args:
+        mean_anomaly_rad: Mean anomaly ``M`` in radians.
+        eccentricity: Orbit eccentricity ``e`` in [0, 1).
+        tol: Convergence tolerance on ``|E_{k+1} - E_k|``.
+        max_iterations: Safety bound on Newton iterations.
+
+    Returns:
+        Eccentric anomaly ``E`` in radians, in the same revolution as ``M``.
+    """
+    if not 0.0 <= eccentricity < 1.0:
+        raise ValueError(f"eccentricity must be in [0, 1), got {eccentricity}")
+    m = mean_anomaly_rad % _TWO_PI
+    # High-eccentricity orbits converge faster from E0 = pi.
+    e_anom = m if eccentricity < 0.8 else math.pi
+    for _ in range(max_iterations):
+        delta = (e_anom - eccentricity * math.sin(e_anom) - m) / (
+            1.0 - eccentricity * math.cos(e_anom)
+        )
+        e_anom -= delta
+        if abs(delta) < tol:
+            break
+    return e_anom
+
+
+def true_anomaly_from_eccentric(eccentric_anomaly_rad: float,
+                                eccentricity: float) -> float:
+    """Convert eccentric anomaly to true anomaly."""
+    half_e = eccentric_anomaly_rad / 2.0
+    return 2.0 * math.atan2(
+        math.sqrt(1.0 + eccentricity) * math.sin(half_e),
+        math.sqrt(1.0 - eccentricity) * math.cos(half_e),
+    )
+
+
+def _perifocal_to_eci_matrix(inclination_rad: float, raan_rad: float,
+                             arg_perigee_rad: float) -> np.ndarray:
+    """Rotation matrix from the perifocal frame to ECI (3-1-3 Euler)."""
+    cos_o, sin_o = math.cos(raan_rad), math.sin(raan_rad)
+    cos_i, sin_i = math.cos(inclination_rad), math.sin(inclination_rad)
+    cos_w, sin_w = math.cos(arg_perigee_rad), math.sin(arg_perigee_rad)
+    return np.array(
+        [
+            [
+                cos_o * cos_w - sin_o * sin_w * cos_i,
+                -cos_o * sin_w - sin_o * cos_w * cos_i,
+                sin_o * sin_i,
+            ],
+            [
+                sin_o * cos_w + cos_o * sin_w * cos_i,
+                -sin_o * sin_w + cos_o * cos_w * cos_i,
+                -cos_o * sin_i,
+            ],
+            [sin_w * sin_i, cos_w * sin_i, cos_i],
+        ]
+    )
+
+
+class KeplerPropagator:
+    """Propagates one set of orbital elements to ECI state vectors.
+
+    Args:
+        elements: Orbital elements at their epoch.
+        include_j2: When True, apply secular J2 drift to the RAAN, argument
+            of perigee, and mean anomaly.  The short-period oscillations are
+            not modelled; they are negligible at the fidelity of the paper's
+            simulation (propagation latency and footprint coverage).
+    """
+
+    def __init__(self, elements: OrbitalElements, include_j2: bool = False):
+        self.elements = elements
+        self.include_j2 = include_j2
+        self._n = elements.mean_motion_rad_s
+        if include_j2:
+            a = elements.semi_major_axis_km
+            e = elements.eccentricity
+            i = elements.inclination_rad
+            p = a * (1.0 - e * e)
+            factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_KM / p) ** 2 * self._n
+            self._raan_dot = -factor * math.cos(i)
+            self._argp_dot = factor * (2.0 - 2.5 * math.sin(i) ** 2)
+            self._mean_dot = self._n + factor * math.sqrt(1.0 - e * e) * (
+                1.0 - 1.5 * math.sin(i) ** 2
+            )
+        else:
+            self._raan_dot = 0.0
+            self._argp_dot = 0.0
+            self._mean_dot = self._n
+
+    def state_at(self, time_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """ECI position (km) and velocity (km/s) at simulation time ``time_s``."""
+        el = self.elements
+        dt = time_s - el.epoch_s
+        mean_anomaly = el.mean_anomaly_rad + self._mean_dot * dt
+        raan = el.raan_rad + self._raan_dot * dt
+        argp = el.arg_perigee_rad + self._argp_dot * dt
+
+        ecc_anom = solve_kepler(mean_anomaly, el.eccentricity)
+        nu = true_anomaly_from_eccentric(ecc_anom, el.eccentricity)
+
+        a = el.semi_major_axis_km
+        e = el.eccentricity
+        r = a * (1.0 - e * math.cos(ecc_anom))
+        # Perifocal position and velocity.
+        p_semi_latus = a * (1.0 - e * e)
+        pos_pf = np.array([r * math.cos(nu), r * math.sin(nu), 0.0])
+        v_factor = math.sqrt(EARTH_MU_KM3_S2 / p_semi_latus)
+        vel_pf = np.array(
+            [-v_factor * math.sin(nu), v_factor * (e + math.cos(nu)), 0.0]
+        )
+        rot = _perifocal_to_eci_matrix(el.inclination_rad, raan, argp)
+        return rot @ pos_pf, rot @ vel_pf
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        """ECI position vector (km) at simulation time ``time_s``."""
+        position, _ = self.state_at(time_s)
+        return position
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        """ECI positions for an array of times; shape ``(len(times), 3)``."""
+        return np.array([self.position_at(float(t)) for t in np.asarray(times_s)])
+
+    @property
+    def period_s(self) -> float:
+        """Orbital period (two-body) in seconds."""
+        return self.elements.period_s

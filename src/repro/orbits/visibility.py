@@ -1,0 +1,268 @@
+"""Visibility, footprints, and coverage geometry.
+
+Implements the geometric primitives behind the paper's Figure 2:
+
+* line-of-sight between two satellites (Earth-grazing test, used to decide
+  which ISLs are feasible);
+* satellite-to-ground visibility with an elevation mask;
+* nadir footprints as spherical caps, and the paper's *worst-case* coverage
+  rule: "if there is any overlap between a pair of satellite ranges, their
+  effective coverage will be reduced to that of a single satellite".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.orbits.constants import EARTH_RADIUS_KM, EARTH_SURFACE_AREA_KM2
+
+
+def slant_range(pos_a_km: np.ndarray, pos_b_km: np.ndarray) -> float:
+    """Euclidean distance between two position vectors, km."""
+    return float(np.linalg.norm(np.asarray(pos_a_km) - np.asarray(pos_b_km)))
+
+
+def has_line_of_sight(pos_a_km: np.ndarray, pos_b_km: np.ndarray,
+                      grazing_altitude_km: float = 80.0) -> bool:
+    """True when the segment between two satellites clears the atmosphere.
+
+    The segment must not dip below ``EARTH_RADIUS_KM + grazing_altitude_km``;
+    the default keeps ISLs above the bulk of the atmosphere, the usual
+    criterion in LEO ISL studies.
+    """
+    a = np.asarray(pos_a_km, dtype=float)
+    b = np.asarray(pos_b_km, dtype=float)
+    limit = EARTH_RADIUS_KM + grazing_altitude_km
+    d = b - a
+    dd = float(d @ d)
+    if dd == 0.0:
+        return float(np.linalg.norm(a)) >= limit
+    # Closest point of the segment to the Earth's centre.
+    t = max(0.0, min(1.0, float(-(a @ d)) / dd))
+    closest = a + t * d
+    return float(np.linalg.norm(closest)) >= limit
+
+
+def elevation_angle(ground_ecef_km: np.ndarray,
+                    satellite_ecef_km: np.ndarray) -> float:
+    """Elevation of a satellite above a ground point's local horizon, radians.
+
+    Treats the local vertical as the geocentric radial direction, which is
+    exact for the spherical-Earth model used in the coverage study.
+    """
+    ground = np.asarray(ground_ecef_km, dtype=float)
+    delta = np.asarray(satellite_ecef_km, dtype=float) - ground
+    range_km = float(np.linalg.norm(delta))
+    ground_norm = float(np.linalg.norm(ground))
+    if range_km == 0.0 or ground_norm == 0.0:
+        return math.pi / 2.0
+    sin_el = float(delta @ ground) / (range_km * ground_norm)
+    return math.asin(max(-1.0, min(1.0, sin_el)))
+
+
+def is_visible(ground_ecef_km: np.ndarray, satellite_ecef_km: np.ndarray,
+               min_elevation_deg: float = 10.0) -> bool:
+    """True when the satellite is above the ground point's elevation mask."""
+    return elevation_angle(ground_ecef_km, satellite_ecef_km) >= math.radians(
+        min_elevation_deg
+    )
+
+
+def footprint_half_angle(altitude_km: float,
+                         min_elevation_deg: float = 0.0) -> float:
+    """Earth-central half-angle of a satellite's coverage cap, radians.
+
+    For a satellite at altitude ``h`` serving users above elevation ``e``,
+    the cap half-angle is ``lambda = acos(R cos e / (R + h)) - e``.
+
+    Args:
+        altitude_km: Satellite altitude above the mean radius.
+        min_elevation_deg: User elevation mask; 0 gives the horizon-limited
+            footprint the paper's worst-case coverage estimate implies.
+    """
+    if altitude_km <= 0.0:
+        raise ValueError(f"altitude must be positive, got {altitude_km}")
+    elev = math.radians(min_elevation_deg)
+    ratio = EARTH_RADIUS_KM * math.cos(elev) / (EARTH_RADIUS_KM + altitude_km)
+    return math.acos(max(-1.0, min(1.0, ratio))) - elev
+
+
+def footprint_area_km2(altitude_km: float,
+                       min_elevation_deg: float = 0.0) -> float:
+    """Area of a satellite's spherical-cap footprint, km^2."""
+    half_angle = footprint_half_angle(altitude_km, min_elevation_deg)
+    return (
+        2.0 * math.pi * EARTH_RADIUS_KM**2 * (1.0 - math.cos(half_angle))
+    )
+
+
+def _central_angles(positions_eci_km: np.ndarray) -> np.ndarray:
+    """Pairwise Earth-central angles between subsatellite points, radians."""
+    pos = np.asarray(positions_eci_km, dtype=float)
+    unit = pos / np.linalg.norm(pos, axis=1, keepdims=True)
+    cosines = np.clip(unit @ unit.T, -1.0, 1.0)
+    return np.arccos(cosines)
+
+
+def worst_case_coverage_fraction(positions_eci_km: np.ndarray,
+                                 altitude_km: float,
+                                 min_elevation_deg: float = 0.0) -> float:
+    """Coverage under the paper's worst-case overlap rule.
+
+    "We assume that if there is any overlap between a pair of satellite
+    ranges, their effective coverage will be reduced to that of a single
+    satellite — that is, we take the worst case where two satellites have
+    completely overlapping ground coverage."
+
+    Implemented as a greedy pairwise reduction: walk the satellites in
+    order; whenever a satellite's footprint overlaps one already counted,
+    the pair contributes a single footprint (the new satellite is dropped).
+    The counted satellites have pairwise-disjoint footprints, so summing
+    their cap areas never double-counts ground area.  The result is capped
+    at 1.0.
+
+    (A stricter transitive reading — collapsing whole overlap *clusters* to
+    one footprint — is available as :func:`cluster_coverage_fraction`; it
+    cannot reach full coverage and is provided for sensitivity analysis.)
+
+    Args:
+        positions_eci_km: ``(N, 3)`` satellite position vectors.
+        altitude_km: Common constellation altitude (footprint size).
+        min_elevation_deg: User elevation mask for the footprint.
+
+    Returns:
+        Fraction of the Earth's surface covered, in [0, 1].
+    """
+    pos = np.atleast_2d(np.asarray(positions_eci_km, dtype=float))
+    count = pos.shape[0]
+    if count == 0:
+        return 0.0
+    half_angle = footprint_half_angle(altitude_km, min_elevation_deg)
+    angles = _central_angles(pos)
+    overlap_limit = 2.0 * half_angle
+    kept: list = []
+    for i in range(count):
+        if all(angles[i, j] >= overlap_limit for j in kept):
+            kept.append(i)
+    cap_area = footprint_area_km2(altitude_km, min_elevation_deg)
+    return min(1.0, len(kept) * cap_area / EARTH_SURFACE_AREA_KM2)
+
+
+def cluster_coverage_fraction(positions_eci_km: np.ndarray,
+                              altitude_km: float,
+                              min_elevation_deg: float = 0.0) -> float:
+    """Strictest transitive reading of the worst-case rule.
+
+    Groups satellites into overlap clusters (connected components of the
+    pairwise-overlap graph); each cluster contributes the footprint of a
+    single satellite.  This lower-bounds every other estimator.
+    """
+    pos = np.atleast_2d(np.asarray(positions_eci_km, dtype=float))
+    count = pos.shape[0]
+    if count == 0:
+        return 0.0
+    half_angle = footprint_half_angle(altitude_km, min_elevation_deg)
+    angles = _central_angles(pos)
+    overlap = angles < (2.0 * half_angle)
+    parent = list(range(count))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(count):
+        for j in range(i + 1, count):
+            if overlap[i, j]:
+                root_i, root_j = find(i), find(j)
+                if root_i != root_j:
+                    parent[root_j] = root_i
+    cluster_count = len({find(i) for i in range(count)})
+    cap_area = footprint_area_km2(altitude_km, min_elevation_deg)
+    return min(1.0, cluster_count * cap_area / EARTH_SURFACE_AREA_KM2)
+
+
+def coverage_fraction(positions_eci_km: np.ndarray, altitude_km: float,
+                      min_elevation_deg: float = 0.0,
+                      grid_points: Optional[np.ndarray] = None,
+                      grid_resolution: int = 24) -> float:
+    """Monte-Carlo/grid estimate of the true footprint-union coverage.
+
+    Provided as the realistic comparator to the paper's worst-case rule.
+    Samples points on an equal-area-ish latitude/longitude grid (weighted by
+    ``cos(latitude)``) and reports the covered weight fraction.
+
+    Args:
+        positions_eci_km: ``(N, 3)`` satellite position vectors.
+        altitude_km: Common constellation altitude.
+        min_elevation_deg: User elevation mask.
+        grid_points: Optional precomputed ``(M, 3)`` unit vectors to test.
+        grid_resolution: Latitude bands when building the default grid.
+
+    Returns:
+        Fraction of the Earth's surface covered, in [0, 1].
+    """
+    pos = np.atleast_2d(np.asarray(positions_eci_km, dtype=float))
+    if pos.shape[0] == 0:
+        return 0.0
+    if grid_points is None:
+        grid_points, weights = surface_grid(grid_resolution)
+    else:
+        grid_points = np.asarray(grid_points, dtype=float)
+        weights = np.full(grid_points.shape[0], 1.0 / grid_points.shape[0])
+    half_angle = footprint_half_angle(altitude_km, min_elevation_deg)
+    sat_unit = pos / np.linalg.norm(pos, axis=1, keepdims=True)
+    cos_limit = math.cos(half_angle)
+    # A grid point is covered when some satellite's subsatellite direction
+    # is within the cap half-angle.
+    cosines = grid_points @ sat_unit.T
+    covered = (cosines >= cos_limit).any(axis=1)
+    return float(weights[covered].sum())
+
+
+def surface_grid(resolution: int = 24):
+    """Latitude/longitude sample grid with cos-latitude area weights.
+
+    Returns:
+        ``(points, weights)`` where ``points`` is an ``(M, 3)`` array of unit
+        vectors and ``weights`` sums to 1.
+    """
+    if resolution < 2:
+        raise ValueError(f"grid resolution must be >= 2, got {resolution}")
+    lats = np.linspace(-math.pi / 2.0, math.pi / 2.0, resolution)
+    points = []
+    weights = []
+    for lat in lats:
+        band = max(4, int(round(2 * resolution * math.cos(lat))))
+        lons = np.linspace(0.0, 2.0 * math.pi, band, endpoint=False)
+        for lon in lons:
+            points.append(
+                [
+                    math.cos(lat) * math.cos(lon),
+                    math.cos(lat) * math.sin(lon),
+                    math.sin(lat),
+                ]
+            )
+            weights.append(math.cos(lat) / band if math.cos(lat) > 0 else 1e-9)
+    points_arr = np.array(points)
+    weights_arr = np.array(weights)
+    weights_arr /= weights_arr.sum()
+    return points_arr, weights_arr
+
+
+def visible_satellites(ground_ecef_km: np.ndarray,
+                       satellite_positions_ecef_km: Sequence[np.ndarray],
+                       min_elevation_deg: float = 10.0) -> list:
+    """Indices of satellites visible from a ground point, nearest first."""
+    ground = np.asarray(ground_ecef_km, dtype=float)
+    hits = []
+    for index, sat in enumerate(satellite_positions_ecef_km):
+        sat = np.asarray(sat, dtype=float)
+        if is_visible(ground, sat, min_elevation_deg):
+            hits.append((slant_range(ground, sat), index))
+    hits.sort()
+    return [index for _, index in hits]

@@ -1,0 +1,78 @@
+"""Physical-layer substrate: channels, antennas, and link budgets.
+
+OpenSpace mandates RF inter-satellite links as the minimum interoperable
+capability (S-band / UHF, the bands "tried and tested in various missions")
+with optional standardized laser links for high-throughput pairs, Ku-band
+for ground links.  This subpackage models those links well enough that the
+routing layer sees realistic heterogeneous capacities:
+
+* free-space path loss, atmospheric/rain attenuation, thermal noise;
+* parabolic/patch antenna gains and optical terminal geometry;
+* pointing-acquisition-tracking (PAT) losses for the narrow laser beams;
+* Shannon and MODCOD-table capacity estimates.
+"""
+
+from repro.phy.channel import (
+    atmospheric_loss_db,
+    free_space_path_loss_db,
+    noise_power_dbw,
+    rain_attenuation_db,
+)
+from repro.phy.antennas import (
+    dish_gain_dbi,
+    effective_aperture_m2,
+    half_power_beamwidth_deg,
+)
+from repro.phy.bands import Band, BAND_CATALOG
+from repro.phy.rf import RFTerminal, rf_link_budget
+from repro.phy.optical import (
+    OpticalTerminal,
+    PATController,
+    PATState,
+    optical_link_budget,
+    pointing_loss_db,
+)
+from repro.phy.linkbudget import LinkBudget, shannon_capacity_bps
+from repro.phy.doppler import (
+    doppler_shift_hz,
+    max_doppler_over_pass,
+    range_rate_km_s,
+    worst_case_doppler_ppm,
+)
+from repro.phy.interference import (
+    angular_separation_rad,
+    downlink_sinr_db,
+    interference_pairs,
+)
+from repro.phy.modulation import ModCod, MODCOD_TABLE, select_modcod
+
+__all__ = [
+    "atmospheric_loss_db",
+    "free_space_path_loss_db",
+    "noise_power_dbw",
+    "rain_attenuation_db",
+    "dish_gain_dbi",
+    "effective_aperture_m2",
+    "half_power_beamwidth_deg",
+    "Band",
+    "BAND_CATALOG",
+    "RFTerminal",
+    "rf_link_budget",
+    "OpticalTerminal",
+    "PATController",
+    "PATState",
+    "optical_link_budget",
+    "pointing_loss_db",
+    "LinkBudget",
+    "shannon_capacity_bps",
+    "doppler_shift_hz",
+    "max_doppler_over_pass",
+    "range_rate_km_s",
+    "worst_case_doppler_ppm",
+    "angular_separation_rad",
+    "downlink_sinr_db",
+    "interference_pairs",
+    "ModCod",
+    "MODCOD_TABLE",
+    "select_modcod",
+]

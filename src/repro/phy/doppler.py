@@ -1,0 +1,116 @@
+"""Doppler shift along satellite links.
+
+LEO satellites move at ~7.5 km/s, producing carrier offsets of up to
+~±25 ppm that every OpenSpace terminal must track; the interoperability
+profile's "transceiver radios [able] to function over a wide range of
+frequencies" implicitly includes this tracking range.  The functions here
+compute instantaneous shift and the worst case over a pass, which the
+terminal-requirements tests assert against the profile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
+from repro.orbits.kepler import KeplerPropagator
+
+
+def range_rate_km_s(observer_pos_km: np.ndarray, observer_vel_km_s: np.ndarray,
+                    target_pos_km: np.ndarray,
+                    target_vel_km_s: np.ndarray) -> float:
+    """Rate of change of the observer-target distance, km/s.
+
+    Positive when the range is opening (receding target).
+    """
+    rel_pos = np.asarray(target_pos_km, float) - np.asarray(observer_pos_km,
+                                                            float)
+    rel_vel = np.asarray(target_vel_km_s, float) - np.asarray(
+        observer_vel_km_s, float
+    )
+    distance = float(np.linalg.norm(rel_pos))
+    if distance == 0.0:
+        return 0.0
+    return float(rel_pos @ rel_vel) / distance
+
+
+def doppler_shift_hz(carrier_hz: float, range_rate: float) -> float:
+    """Received-carrier offset for a given range rate.
+
+    Args:
+        carrier_hz: Transmitted carrier frequency.
+        range_rate: Range rate in km/s (positive = receding = negative
+            shift).
+
+    Returns:
+        Frequency offset in hertz (received minus transmitted).
+    """
+    if carrier_hz <= 0.0:
+        raise ValueError(f"carrier must be positive, got {carrier_hz}")
+    return -carrier_hz * range_rate / SPEED_OF_LIGHT_KM_S
+
+
+def max_doppler_over_pass(carrier_hz: float, propagator: KeplerPropagator,
+                          observer_ecef_to_eci, start_s: float, end_s: float,
+                          step_s: float = 10.0) -> Tuple[float, float]:
+    """Extreme Doppler offsets seen from a ground observer over a window.
+
+    Args:
+        carrier_hz: Carrier frequency.
+        propagator: The satellite's propagator.
+        observer_ecef_to_eci: Callable ``time_s -> (pos_eci, vel_eci)`` for
+            the observer (ground stations rotate with the Earth).
+        start_s: Window start.
+        end_s: Window end.
+        step_s: Sampling step.
+
+    Returns:
+        ``(min_shift_hz, max_shift_hz)``.
+    """
+    if end_s <= start_s:
+        raise ValueError(f"end {end_s} must be after start {start_s}")
+    shifts = []
+    for time_s in np.arange(start_s, end_s + step_s, step_s):
+        obs_pos, obs_vel = observer_ecef_to_eci(float(time_s))
+        sat_pos, sat_vel = propagator.state_at(float(time_s))
+        rate = range_rate_km_s(obs_pos, obs_vel, sat_pos, sat_vel)
+        shifts.append(doppler_shift_hz(carrier_hz, rate))
+    return float(min(shifts)), float(max(shifts))
+
+
+def ground_observer(location) -> "callable":
+    """Position/velocity provider for a rotating ground observer.
+
+    Args:
+        location: A :class:`~repro.orbits.coordinates.GeodeticPoint`.
+
+    Returns:
+        Callable ``time_s -> (pos_eci_km, vel_eci_km_s)``.
+    """
+    from repro.orbits.constants import EARTH_ROTATION_RAD_S
+    from repro.orbits.coordinates import ecef_to_eci
+
+    ecef = location.ecef()
+    omega = np.array([0.0, 0.0, EARTH_ROTATION_RAD_S])
+
+    def provider(time_s: float):
+        pos = ecef_to_eci(ecef, time_s)
+        vel = np.cross(omega, pos)
+        return pos, vel
+
+    return provider
+
+
+def worst_case_doppler_ppm(altitude_km: float = 780.0) -> float:
+    """Upper bound on |Doppler|/carrier for a circular LEO pass, in ppm.
+
+    The bound is the orbital speed over c (the observer's rotation adds a
+    small correction already inside the bound for retrograde passes).
+    """
+    from repro.orbits.constants import EARTH_MU_KM3_S2, EARTH_RADIUS_KM
+
+    speed = math.sqrt(EARTH_MU_KM3_S2 / (EARTH_RADIUS_KM + altitude_km))
+    return speed / SPEED_OF_LIGHT_KM_S * 1e6

@@ -1,0 +1,71 @@
+"""Link-budget result type and capacity estimation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """The outcome of a point-to-point link-budget computation.
+
+    Attributes:
+        tx_power_dbw: Transmit power.
+        tx_gain_dbi: Transmit antenna/terminal gain.
+        rx_gain_dbi: Receive antenna/terminal gain.
+        path_loss_db: Free-space path loss.
+        extra_loss_db: Sum of atmospheric, rain, pointing, implementation
+            losses.
+        noise_power_dbw: Receiver noise floor.
+        bandwidth_hz: Channel bandwidth used for capacity.
+    """
+
+    tx_power_dbw: float
+    tx_gain_dbi: float
+    rx_gain_dbi: float
+    path_loss_db: float
+    extra_loss_db: float
+    noise_power_dbw: float
+    bandwidth_hz: float
+
+    @property
+    def received_power_dbw(self) -> float:
+        return (
+            self.tx_power_dbw
+            + self.tx_gain_dbi
+            + self.rx_gain_dbi
+            - self.path_loss_db
+            - self.extra_loss_db
+        )
+
+    @property
+    def snr_db(self) -> float:
+        return self.received_power_dbw - self.noise_power_dbw
+
+    @property
+    def snr_linear(self) -> float:
+        return 10.0 ** (self.snr_db / 10.0)
+
+    @property
+    def shannon_capacity_bps(self) -> float:
+        """Shannon capacity ``B log2(1 + SNR)`` over the channel bandwidth."""
+        return shannon_capacity_bps(self.bandwidth_hz, self.snr_db)
+
+    def closes(self, required_snr_db: float = 0.0,
+               margin_db: float = 3.0) -> bool:
+        """True when the link closes with the given SNR requirement + margin."""
+        return self.snr_db >= required_snr_db + margin_db
+
+
+def shannon_capacity_bps(bandwidth_hz: float, snr_db: float) -> float:
+    """Shannon channel capacity in bits per second.
+
+    Args:
+        bandwidth_hz: Channel bandwidth (must be positive).
+        snr_db: Signal-to-noise ratio in dB; very low SNR yields ~0 capacity.
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    snr = 10.0 ** (snr_db / 10.0)
+    return bandwidth_hz * math.log2(1.0 + snr)

@@ -1,0 +1,80 @@
+"""MODCOD tables and adaptive coding/modulation selection.
+
+A DVB-S2-style table maps required SNR to spectral efficiency.  The MAC and
+routing layers use :func:`select_modcod` to turn a link budget into an
+achievable data rate that is more conservative (and more realistic) than
+raw Shannon capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ModCod:
+    """One modulation-and-coding operating point.
+
+    Attributes:
+        name: Label, e.g. ``"QPSK 3/4"``.
+        required_snr_db: Minimum SNR at which the point achieves
+            quasi-error-free operation.
+        spectral_efficiency_bps_hz: Information bits per second per hertz.
+    """
+
+    name: str
+    required_snr_db: float
+    spectral_efficiency_bps_hz: float
+
+    def rate_bps(self, bandwidth_hz: float) -> float:
+        """Achievable information rate over the given bandwidth."""
+        if bandwidth_hz <= 0.0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+        return self.spectral_efficiency_bps_hz * bandwidth_hz
+
+
+#: DVB-S2-inspired operating points, ascending in required SNR.
+MODCOD_TABLE: List[ModCod] = [
+    ModCod("BPSK 1/4", -2.35, 0.25),
+    ModCod("BPSK 1/2", -1.00, 0.50),
+    ModCod("QPSK 1/2", 1.00, 0.99),
+    ModCod("QPSK 3/4", 4.03, 1.49),
+    ModCod("QPSK 8/9", 6.20, 1.77),
+    ModCod("8PSK 3/4", 7.91, 2.23),
+    ModCod("8PSK 8/9", 10.69, 2.65),
+    ModCod("16APSK 3/4", 10.21, 2.97),
+    ModCod("16APSK 8/9", 12.89, 3.52),
+    ModCod("32APSK 4/5", 13.64, 3.95),
+    ModCod("32APSK 9/10", 16.05, 4.45),
+]
+
+
+def select_modcod(snr_db: float, margin_db: float = 1.0,
+                  table: Optional[List[ModCod]] = None) -> Optional[ModCod]:
+    """Pick the highest-rate MODCOD that closes at the given SNR.
+
+    Args:
+        snr_db: Link SNR.
+        margin_db: Implementation margin subtracted from the available SNR.
+        table: Operating points to choose from (defaults to
+            :data:`MODCOD_TABLE`); need not be sorted.
+
+    Returns:
+        The best :class:`ModCod`, or None when even the most robust point
+        does not close (the link is unusable).
+    """
+    candidates = table if table is not None else MODCOD_TABLE
+    usable = [m for m in candidates if m.required_snr_db <= snr_db - margin_db]
+    if not usable:
+        return None
+    return max(usable, key=lambda m: m.spectral_efficiency_bps_hz)
+
+
+def achievable_rate_bps(snr_db: float, bandwidth_hz: float,
+                        margin_db: float = 1.0) -> float:
+    """Data rate through the MODCOD table; 0 when no point closes."""
+    modcod = select_modcod(snr_db, margin_db)
+    if modcod is None:
+        return 0.0
+    return modcod.rate_bps(bandwidth_hz)

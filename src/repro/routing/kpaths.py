@@ -1,0 +1,44 @@
+"""K-shortest-path enumeration (Yen's algorithm via networkx).
+
+Providers use alternates both for load balancing across ISLs and for the
+economics layer: comparing the tariff of the cheapest path against
+latency-better alternatives is how an operator decides when a peering
+agreement would pay off.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.routing.metrics import EdgeCostModel, PROPAGATION_ONLY
+
+
+def k_shortest_paths(graph: nx.Graph, source: str, target: str, k: int,
+                     cost_model: Optional[EdgeCostModel] = None) -> List[List[str]]:
+    """The ``k`` cheapest loop-free paths between two nodes.
+
+    Args:
+        graph: Snapshot graph.
+        source: Source node id.
+        target: Target node id.
+        k: Maximum number of paths to return (>= 1).
+        cost_model: Edge-cost model; defaults to propagation delay.
+
+    Returns:
+        Up to ``k`` paths, cheapest first; empty list when unreachable.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if source not in graph or target not in graph:
+        return []
+    model = cost_model or PROPAGATION_ONLY
+    try:
+        generator = nx.shortest_simple_paths(
+            graph, source, target, weight=model.weight_fn()
+        )
+        return list(islice(generator, k))
+    except nx.NetworkXNoPath:
+        return []

@@ -1,0 +1,169 @@
+"""Proactive (precomputed) routing from public orbital knowledge.
+
+"The set of overhead satellites and the times at which they will be
+available are entirely predictable ... allowing for pre-computation of
+static routes between any set of satellites and fixed ground
+infrastructure."  The :class:`ProactiveRouter` consumes a series of
+topology snapshots and precomputes, for each snapshot epoch, all-pairs (or
+selected-pairs) static routes; at run time a lookup is O(1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.routing.metrics import (
+    EdgeCostModel,
+    PROPAGATION_ONLY,
+    RouteMetrics,
+    path_metrics,
+)
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    """One precomputed route valid during one snapshot epoch.
+
+    Attributes:
+        source: Source node id.
+        target: Target node id.
+        valid_from_s: Epoch start.
+        valid_until_s: Epoch end (start of the next snapshot).
+        metrics: End-to-end metrics at precomputation time.
+    """
+
+    source: str
+    target: str
+    valid_from_s: float
+    valid_until_s: float
+    metrics: RouteMetrics
+
+    @property
+    def path(self) -> List[str]:
+        return self.metrics.path
+
+
+@dataclass
+class RoutingTable:
+    """Per-epoch route store with binary-search time lookup."""
+
+    epochs_s: List[float] = field(default_factory=list)
+    routes: List[Dict[Tuple[str, str], StaticRoute]] = field(default_factory=list)
+
+    def add_epoch(self, epoch_s: float,
+                  epoch_routes: Dict[Tuple[str, str], StaticRoute]) -> None:
+        """Append an epoch; epochs must be added in increasing time order."""
+        if self.epochs_s and epoch_s <= self.epochs_s[-1]:
+            raise ValueError(
+                f"epochs must be strictly increasing; got {epoch_s} after "
+                f"{self.epochs_s[-1]}"
+            )
+        self.epochs_s.append(epoch_s)
+        self.routes.append(epoch_routes)
+
+    def epoch_index_at(self, time_s: float) -> int:
+        """Index of the epoch covering ``time_s``.
+
+        Raises:
+            LookupError: When ``time_s`` precedes the first epoch or the
+                table is empty.
+        """
+        if not self.epochs_s:
+            raise LookupError("routing table is empty")
+        index = bisect.bisect_right(self.epochs_s, time_s) - 1
+        if index < 0:
+            raise LookupError(
+                f"time {time_s} precedes first routing epoch {self.epochs_s[0]}"
+            )
+        return index
+
+    def lookup(self, source: str, target: str,
+               time_s: float) -> Optional[StaticRoute]:
+        """The precomputed route for a pair at a time; None when absent."""
+        index = self.epoch_index_at(time_s)
+        return self.routes[index].get((source, target))
+
+    @property
+    def route_count(self) -> int:
+        return sum(len(epoch) for epoch in self.routes)
+
+
+class ProactiveRouter:
+    """Precomputes static routes across a snapshot series.
+
+    Args:
+        cost_model: Edge-cost model used for the precomputation; defaults
+            to pure propagation delay (the paper's latency metric).
+    """
+
+    def __init__(self, cost_model: Optional[EdgeCostModel] = None):
+        self.cost_model = cost_model or PROPAGATION_ONLY
+        self.table = RoutingTable()
+
+    def precompute(self, snapshots: Sequence, pairs: Optional[Sequence[Tuple[str, str]]] = None,
+                   horizon_s: Optional[float] = None) -> RoutingTable:
+        """Build the routing table over a series of topology snapshots.
+
+        Args:
+            snapshots: :class:`~repro.isl.topology.TopologySnapshot` objects
+                (anything with ``time_s`` and ``graph``), time-ordered.
+            pairs: Source/target pairs to precompute.  None means all pairs
+                (Dijkstra from every source — fine at paper scale).
+            horizon_s: Validity end of the final epoch; defaults to the
+                last snapshot time plus the preceding epoch length.
+
+        Returns:
+            The populated :class:`RoutingTable` (also kept on the router).
+        """
+        if not snapshots:
+            raise ValueError("need at least one snapshot to precompute routes")
+        times = [snap.time_s for snap in snapshots]
+        if any(b <= a for a, b in zip(times[:-1], times[1:])):
+            raise ValueError("snapshots must be strictly time-ordered")
+        if horizon_s is None:
+            step = times[-1] - times[-2] if len(times) > 1 else 60.0
+            horizon_s = times[-1] + step
+
+        self.table = RoutingTable()
+        weight = self.cost_model.weight_fn()
+        for snap, valid_until in zip(snapshots, times[1:] + [horizon_s]):
+            epoch_routes: Dict[Tuple[str, str], StaticRoute] = {}
+            graph = snap.graph
+            if pairs is None:
+                wanted_sources = list(graph.nodes)
+            else:
+                wanted_sources = sorted({src for src, _ in pairs})
+            wanted_by_source: Dict[str, Optional[set]] = {}
+            if pairs is not None:
+                for src, dst in pairs:
+                    wanted_by_source.setdefault(src, set()).add(dst)
+            for source in wanted_sources:
+                if source not in graph:
+                    continue
+                _dist, paths = nx.single_source_dijkstra(
+                    graph, source, weight=weight
+                )
+                targets = wanted_by_source.get(source)
+                for target, path in paths.items():
+                    if target == source:
+                        continue
+                    if targets is not None and target not in targets:
+                        continue
+                    epoch_routes[(source, target)] = StaticRoute(
+                        source=source,
+                        target=target,
+                        valid_from_s=snap.time_s,
+                        valid_until_s=valid_until,
+                        metrics=path_metrics(graph, path),
+                    )
+            self.table.add_epoch(snap.time_s, epoch_routes)
+        return self.table
+
+    def route(self, source: str, target: str,
+              time_s: float) -> Optional[StaticRoute]:
+        """Look up the precomputed route for a pair at a time."""
+        return self.table.lookup(source, target, time_s)

@@ -1,0 +1,152 @@
+"""Heterogeneity- and QoS-aware routing.
+
+The paper: packets "can traverse satellites owned by different firms
+several times prior to being received on the ground.  These links may
+differ based on physical layer specifications (RF or optical links),
+predefined agreements between providers, and ground station conditions.
+Given these complexities, satellites need to make quality-of-service-aware
+routing decisions that take into account the nature of the network,
+including available bandwidths of the ISLs."
+
+The :class:`QosRouter` filters the snapshot graph down to edges satisfying
+a flow's requirements (minimum bandwidth, maximum tariff, allowed
+technologies/operators) and then runs cheapest-path over a cost model that
+prices queueing and visitor tariffs alongside propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import networkx as nx
+
+from repro.routing.metrics import EdgeCostModel, RouteMetrics, path_metrics
+
+
+@dataclass(frozen=True)
+class QosRequirement:
+    """A flow's requirements on every link of its path.
+
+    Attributes:
+        min_bandwidth_bps: Bottleneck bandwidth the flow needs; RF-only
+            paths fail stringent values, steering traffic onto laser ISLs
+            exactly as the paper describes for high-QoS users.
+        max_end_to_end_delay_s: Reject routes whose metric exceeds this.
+        max_tariff_per_gb: Reject edges charging more than this.
+        forbidden_operators: Operators the flow must not traverse (policy /
+            data-sovereignty constraint from the paper's discussion).
+        require_optical_only: Restrict to laser ISLs (the strictest QoS
+            class an operator can advertise).
+    """
+
+    min_bandwidth_bps: float = 0.0
+    max_end_to_end_delay_s: float = float("inf")
+    max_tariff_per_gb: float = float("inf")
+    forbidden_operators: frozenset = frozenset()
+    require_optical_only: bool = False
+
+    def admits_edge(self, data: dict) -> bool:
+        """Whether one edge satisfies the per-link constraints."""
+        if float(data.get("capacity_bps", float("inf"))) < self.min_bandwidth_bps:
+            return False
+        if float(data.get("tariff_per_gb", 0.0)) > self.max_tariff_per_gb:
+            return False
+        owner = data.get("owner")
+        if owner is not None and owner in self.forbidden_operators:
+            return False
+        if self.require_optical_only:
+            link = data.get("link")
+            technology = getattr(link, "technology", None)
+            if technology is None or getattr(technology, "is_rf", True):
+                return False
+        return True
+
+
+#: Ready-made service classes an OpenSpace provider might advertise.
+BEST_EFFORT = QosRequirement()
+STANDARD = QosRequirement(min_bandwidth_bps=2e6)
+PREMIUM = QosRequirement(min_bandwidth_bps=50e6, max_end_to_end_delay_s=0.120)
+
+
+@dataclass
+class QosRouteResult:
+    """Outcome of a QoS route computation.
+
+    Attributes:
+        metrics: Metrics of the selected path (None when no path admits).
+        admitted: True when a path satisfying the requirement exists.
+        rejection_reason: Human-readable reason when not admitted.
+    """
+
+    metrics: Optional[RouteMetrics]
+    admitted: bool
+    rejection_reason: str = ""
+
+
+class QosRouter:
+    """Cheapest admissible path under per-flow QoS requirements.
+
+    Args:
+        cost_model: Cost model for ranking admissible paths.  The default
+            prices queueing delay at par and visitor tariffs lightly, so
+            cheap-but-congested RF detours lose to clean paths.
+    """
+
+    def __init__(self, cost_model: Optional[EdgeCostModel] = None):
+        self.cost_model = cost_model or EdgeCostModel(
+            queue_weight=1.0, tariff_weight=0.002
+        )
+
+    def _admissible_subgraph(self, graph: nx.Graph,
+                             requirement: QosRequirement) -> nx.Graph:
+        """View of the graph keeping only edges the requirement admits."""
+        def edge_ok(u, v):
+            return requirement.admits_edge(graph[u][v])
+        return nx.subgraph_view(graph, filter_edge=edge_ok)
+
+    def route(self, graph: nx.Graph, source: str, target: str,
+              requirement: QosRequirement) -> QosRouteResult:
+        """Find the cheapest path meeting the requirement.
+
+        Args:
+            graph: Snapshot graph with routing edge attributes.
+            source: Source node id.
+            target: Target node id.
+            requirement: The flow's QoS class.
+        """
+        if source not in graph or target not in graph:
+            return QosRouteResult(None, False, "endpoint not in topology")
+        admissible = self._admissible_subgraph(graph, requirement)
+        try:
+            path = nx.dijkstra_path(
+                admissible, source, target, weight=self.cost_model.weight_fn()
+            )
+        except nx.NetworkXNoPath:
+            return QosRouteResult(
+                None, False,
+                "no path satisfies per-link constraints "
+                f"(min bw {requirement.min_bandwidth_bps:.0f} bps)",
+            )
+        metrics = path_metrics(graph, path)
+        if metrics.total_delay_s > requirement.max_end_to_end_delay_s:
+            return QosRouteResult(
+                metrics, False,
+                f"best path delay {metrics.total_delay_ms:.1f} ms exceeds "
+                f"limit {requirement.max_end_to_end_delay_s * 1000:.1f} ms",
+            )
+        return QosRouteResult(metrics, True)
+
+    def admissible_service_classes(self, graph: nx.Graph, source: str,
+                                   target: str,
+                                   classes: Sequence[QosRequirement]) -> List[QosRequirement]:
+        """Which of the given service classes the network can honour now.
+
+        Used by providers to "preemptively adjust their QoS guarantees":
+        in regions where paths are bottlenecked by bandwidth-limited links,
+        advertised plans reflect the looser guarantees.
+        """
+        return [
+            requirement for requirement in classes
+            if self.route(graph, source, target, requirement).admitted
+        ]

@@ -1,0 +1,34 @@
+"""Security substrate: authentication, certificates, bad-actor defence.
+
+Association in OpenSpace authenticates a user against their home ISP
+"through a standardized protocol such as RADIUS", after which "the user's
+home provider should assign the user a digital certificate to inform other
+satellite providers that the user has been authenticated by their home
+network."  The discussion section additionally calls for "a security
+protocol to quickly identify and cut off bad actors in the network."
+"""
+
+from repro.security.auth import (
+    AccessAccept,
+    AccessReject,
+    AccessRequest,
+    RadiusServer,
+)
+from repro.security.certificates import (
+    CertificateAuthority,
+    RoamingCertificate,
+    CertificateError,
+)
+from repro.security.badactor import BadActorMonitor, TrustScore
+
+__all__ = [
+    "AccessAccept",
+    "AccessReject",
+    "AccessRequest",
+    "RadiusServer",
+    "CertificateAuthority",
+    "RoamingCertificate",
+    "CertificateError",
+    "BadActorMonitor",
+    "TrustScore",
+]

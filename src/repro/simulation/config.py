@@ -1,0 +1,107 @@
+"""Config-file scenario loading.
+
+Scenarios are plain dataclasses; this module round-trips them through
+JSON so parameter sweeps can live in version-controlled config files
+rather than code.  Only stdlib JSON — the repository stays dependency-
+light.
+
+Example config::
+
+    {
+      "name": "three-operators",
+      "satellite_count": 66,
+      "operator_names": ["alpha", "beta", "gamma"],
+      "size_mix": ["medium", "small"],
+      "user_count": 20,
+      "seed": 7,
+      "sample_times_s": [0.0, 1800.0]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.interop import SizeClass
+from repro.simulation.scenario import Scenario
+
+#: Keys a scenario config may set (anything else is a typo worth raising).
+_ALLOWED_KEYS = {
+    "name", "satellite_count", "operator_names", "size_mix", "user_count",
+    "seed", "sample_times_s",
+}
+
+
+def scenario_from_dict(config: Dict) -> Scenario:
+    """Build a :class:`Scenario` from a plain config dict.
+
+    Raises:
+        ValueError: On unknown keys or unknown size-class names, with the
+            offending names spelled out.
+    """
+    unknown = set(config) - _ALLOWED_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown scenario config keys: {sorted(unknown)}; "
+            f"allowed: {sorted(_ALLOWED_KEYS)}"
+        )
+    kwargs = dict(config)
+    if "size_mix" in kwargs:
+        names = kwargs["size_mix"]
+        try:
+            kwargs["size_mix"] = tuple(SizeClass(name) for name in names)
+        except ValueError:
+            valid = [size.value for size in SizeClass]
+            raise ValueError(
+                f"unknown size class in {names}; valid: {valid}"
+            ) from None
+    if "operator_names" in kwargs:
+        kwargs["operator_names"] = tuple(kwargs["operator_names"])
+    if "sample_times_s" in kwargs:
+        kwargs["sample_times_s"] = tuple(
+            float(t) for t in kwargs["sample_times_s"]
+        )
+    return Scenario(**kwargs)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict:
+    """Serialize a :class:`Scenario` back to a config dict.
+
+    Only the config-file surface is serialized; explicit constellations
+    and station lists are code-level concerns and raise.
+    """
+    if scenario.constellation is not None or scenario.ground_stations is not None:
+        raise ValueError(
+            "scenarios with explicit constellations or ground stations "
+            "cannot round-trip through config files"
+        )
+    return {
+        "name": scenario.name,
+        "satellite_count": scenario.satellite_count,
+        "operator_names": list(scenario.operator_names),
+        "size_mix": [size.value for size in scenario.size_mix],
+        "user_count": scenario.user_count,
+        "seed": scenario.seed,
+        "sample_times_s": list(scenario.sample_times_s),
+    }
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load a scenario from a JSON config file."""
+    raw = Path(path).read_text()
+    try:
+        config = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(config, dict):
+        raise ValueError(f"{path} must contain a JSON object")
+    return scenario_from_dict(config)
+
+
+def save_scenario(scenario: Scenario, path: Union[str, Path]) -> None:
+    """Write a scenario to a JSON config file."""
+    Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2) + "\n"
+    )

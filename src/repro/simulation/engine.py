@@ -1,0 +1,133 @@
+"""A minimal discrete-event simulation engine.
+
+A binary-heap scheduler with monotonic event ids for stable FIFO ordering
+among simultaneous events.  Protocol modules schedule callbacks; the
+engine owns the clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event.
+
+    Attributes:
+        time_s: Firing time.
+        sequence: Tie-break counter (schedule order among equal times).
+        action: Zero-argument callable run at firing time.
+        label: Diagnostic label.
+    """
+
+    time_s: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class SimulationEngine:
+    """The event loop.
+
+    Example::
+
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: print("hello at t=1"))
+        engine.run_until(10.0)
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        self._now = start_s
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._cancelled: set = set()
+        self.processed_count = 0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Events still queued (including cancelled-but-unpopped)."""
+        return len(self._heap)
+
+    def schedule(self, time_s: float, action: Callable[[], Any],
+                 label: str = "") -> Event:
+        """Schedule an event at an absolute time.
+
+        Raises:
+            ValueError: When scheduling into the past.
+        """
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_s}; clock already at {self._now}"
+            )
+        event = Event(time_s, next(self._sequence), action, label)
+        heapq.heappush(self._heap, (time_s, event.sequence, event))
+        return event
+
+    def schedule_in(self, delay_s: float, action: Callable[[], Any],
+                    label: str = "") -> Event:
+        """Schedule an event ``delay_s`` after the current time."""
+        if delay_s < 0.0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        return self.schedule(self._now + delay_s, action, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        self._cancelled.add(event.sequence)
+
+    def step(self) -> Optional[Event]:
+        """Run the next event; returns it, or None when the queue is empty."""
+        while self._heap:
+            time_s, sequence, event = heapq.heappop(self._heap)
+            if sequence in self._cancelled:
+                self._cancelled.discard(sequence)
+                continue
+            self._now = time_s
+            event.action()
+            self.processed_count += 1
+            return event
+        return None
+
+    def run_until(self, end_s: float, max_events: int = 10_000_000) -> int:
+        """Run events with ``time <= end_s``; returns events processed.
+
+        The clock is advanced to ``end_s`` at the end even if the queue
+        drains early, so periodic reschedulers observe consistent time.
+
+        Raises:
+            RuntimeError: When ``max_events`` fires (runaway guard).
+        """
+        processed = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if next_time > end_s:
+                break
+            if self.step() is not None:
+                processed += 1
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"run_until processed {processed} events without "
+                    f"reaching t={end_s}; likely a runaway reschedule loop"
+                )
+        self._now = max(self._now, end_s)
+        return processed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains; returns events processed."""
+        processed = 0
+        while self.step() is not None:
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"run processed {processed} events without draining; "
+                    "likely a runaway reschedule loop"
+                )
+        return processed

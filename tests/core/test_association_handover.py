@@ -1,0 +1,192 @@
+"""Tests for user association and satellite handover."""
+
+import pytest
+
+from repro.core.association import AssociationProtocol
+from repro.core.beacon import Beacon, BeaconEvaluator
+from repro.core.handover import (
+    HandoverScheme,
+    HandoverSimulator,
+    STARLINK_HANDOVER_INTERVAL_S,
+)
+from repro.ground.user import UserTerminal
+from repro.orbits.contact import ContactWindow
+from repro.orbits.coordinates import GeodeticPoint
+from repro.security.auth import RadiusServer
+
+
+@pytest.fixture
+def nairobi_user():
+    return UserTerminal("alice", GeodeticPoint(-1.29, 36.82), "op-a",
+                        min_elevation_deg=10.0)
+
+
+@pytest.fixture
+def auth_setup(medium_fleet):
+    server = RadiusServer("acme", b"secret")
+    server.enroll("alice", b"pw")
+    protocol = AssociationProtocol(
+        radius_servers={"acme": server},
+        auth_anchors={"acme": "gs-nairobi"},
+    )
+    return server, protocol
+
+
+class TestAssociation:
+    def _evaluator(self, medium_fleet, time_s=0.0):
+        evaluator = BeaconEvaluator(min_elevation_deg=10.0)
+        for spec in medium_fleet:
+            evaluator.receive(Beacon.from_spec(spec, time_s))
+        return evaluator
+
+    def test_successful_association(self, network, medium_fleet, auth_setup):
+        _server, protocol = auth_setup
+        user = UserTerminal("alice", GeodeticPoint(-1.29, 36.82), "acme",
+                            min_elevation_deg=10.0)
+        snap = network.snapshot(0.0)
+        result = protocol.associate(
+            user, snap.graph, self._evaluator(medium_fleet), 0.0, b"pw"
+        )
+        assert result.succeeded
+        assert result.satellite_id is not None
+        assert result.auth_round_trip_s > 0.0
+        assert user.is_associated
+        assert user.session_certificate is not None
+
+    def test_wrong_password_rejected(self, network, medium_fleet, auth_setup):
+        _server, protocol = auth_setup
+        user = UserTerminal("alice", GeodeticPoint(-1.29, 36.82), "acme",
+                            min_elevation_deg=10.0)
+        snap = network.snapshot(0.0)
+        result = protocol.associate(
+            user, snap.graph, self._evaluator(medium_fleet), 0.0, b"wrong"
+        )
+        assert not result.succeeded
+        assert "rejected" in result.failure_reason
+        assert not user.is_associated
+
+    def test_no_overhead_satellite(self, network, auth_setup):
+        _server, protocol = auth_setup
+        user = UserTerminal("alice", GeodeticPoint(-1.29, 36.82), "acme")
+        empty = BeaconEvaluator()
+        snap = network.snapshot(0.0)
+        result = protocol.associate(user, snap.graph, empty, 0.0, b"pw")
+        assert not result.succeeded
+        assert "no usable satellite" in result.failure_reason
+
+    def test_unknown_home_provider(self, network, medium_fleet):
+        protocol = AssociationProtocol(radius_servers={}, auth_anchors={})
+        user = UserTerminal("alice", GeodeticPoint(-1.29, 36.82),
+                            "ghost-isp", min_elevation_deg=10.0)
+        snap = network.snapshot(0.0)
+        result = protocol.associate(
+            user, snap.graph, self._evaluator(medium_fleet), 0.0, b"pw"
+        )
+        assert not result.succeeded
+        assert "no" in result.failure_reason and "anchor" in result.failure_reason
+
+    def test_auth_time_dominated_by_isl_round_trip(self, network,
+                                                   medium_fleet, auth_setup):
+        _server, protocol = auth_setup
+        user = UserTerminal("alice", GeodeticPoint(-1.29, 36.82), "acme",
+                            min_elevation_deg=10.0)
+        snap = network.snapshot(0.0)
+        result = protocol.associate(
+            user, snap.graph, self._evaluator(medium_fleet), 0.0, b"pw"
+        )
+        assert result.auth_round_trip_s >= 2.0 * 780.0 / 299792.458
+
+
+def windows_chain(count, duration_s=120.0, overlap_s=10.0):
+    """A chain of contact windows with fixed pairwise overlap."""
+    windows = []
+    start = 0.0
+    for i in range(count):
+        windows.append(ContactWindow(i, start, start + duration_s, 1.0))
+        start += duration_s - overlap_s
+    return windows
+
+
+class TestHandover:
+    def test_predictive_faster_than_reauth(self):
+        windows = windows_chain(10)
+        sim = HandoverSimulator()
+        timelines = sim.compare_schemes(windows, 0.0, 1000.0)
+        predictive = timelines["predictive"]
+        reauth = timelines["reauthenticate"]
+        assert predictive.total_interruption_s < reauth.total_interruption_s
+        assert predictive.availability > reauth.availability
+
+    def test_handover_counts_match_schedule(self):
+        windows = windows_chain(5)
+        sim = HandoverSimulator()
+        timeline = sim.run(windows, HandoverScheme.PREDICTIVE, 0.0, 560.0)
+        assert timeline.handover_count == 4
+
+    def test_overlap_enables_preestablishment(self):
+        sim = HandoverSimulator(successor_notice_s=5.0, switch_s=0.002,
+                                link_setup_s=0.020)
+        generous = sim.run(windows_chain(5, overlap_s=20.0),
+                           HandoverScheme.PREDICTIVE, 0.0, 560.0)
+        # 4 handovers at switch cost only + initial association.
+        assert generous.total_interruption_s == pytest.approx(
+            sim.link_setup_s + sim.auth_round_trip_s + 4 * 0.002
+        )
+
+    def test_no_overlap_pays_link_setup(self):
+        sim = HandoverSimulator(successor_notice_s=5.0)
+        tight = sim.run(windows_chain(5, overlap_s=1.0),
+                        HandoverScheme.PREDICTIVE, 0.0, 560.0)
+        assert tight.total_interruption_s == pytest.approx(
+            sim.link_setup_s + sim.auth_round_trip_s
+            + 4 * sim.link_setup_s
+        )
+
+    def test_reauth_pays_full_cost_every_time(self):
+        sim = HandoverSimulator()
+        timeline = sim.run(windows_chain(5), HandoverScheme.REAUTHENTICATE,
+                           0.0, 560.0)
+        per_handover = sim.link_setup_s + sim.auth_round_trip_s
+        assert timeline.total_interruption_s == pytest.approx(
+            5 * per_handover
+        )
+        assert all(e.reauthenticated for e in timeline.events)
+
+    def test_coverage_gap_accounting(self):
+        windows = [
+            ContactWindow(0, 0.0, 100.0, 1.0),
+            ContactWindow(1, 200.0, 300.0, 1.0),
+        ]
+        sim = HandoverSimulator()
+        timeline = sim.run(windows, HandoverScheme.PREDICTIVE, 0.0, 300.0)
+        assert timeline.coverage_gap_s == pytest.approx(100.0)
+
+    def test_trailing_gap_counted(self):
+        windows = [ContactWindow(0, 0.0, 100.0, 1.0)]
+        sim = HandoverSimulator()
+        timeline = sim.run(windows, HandoverScheme.PREDICTIVE, 0.0, 250.0)
+        assert timeline.coverage_gap_s == pytest.approx(150.0)
+
+    def test_no_windows_all_gap(self):
+        sim = HandoverSimulator()
+        timeline = sim.run([], HandoverScheme.PREDICTIVE, 0.0, 100.0)
+        assert timeline.coverage_gap_s == 100.0
+        assert timeline.availability == 0.0
+
+    def test_longest_window_preferred(self):
+        # Two overlapping windows: the scheme should ride the longer one.
+        windows = [
+            ContactWindow(0, 0.0, 100.0, 1.0),
+            ContactWindow(1, 0.0, 400.0, 1.0),
+        ]
+        sim = HandoverSimulator()
+        timeline = sim.run(windows, HandoverScheme.PREDICTIVE, 0.0, 400.0)
+        assert timeline.events[0].to_satellite == 1
+        assert timeline.handover_count == 0
+
+    def test_starlink_interval_constant(self):
+        assert STARLINK_HANDOVER_INTERVAL_S == 15.0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            HandoverSimulator().run([], HandoverScheme.PREDICTIVE, 10.0, 10.0)

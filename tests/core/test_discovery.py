@@ -1,0 +1,71 @@
+"""Tests for beacon-period neighbour discovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import BeaconDiscoverySimulator
+
+
+def simulator(count=10, seed=4, **kwargs):
+    return BeaconDiscoverySimulator(count, rng=np.random.default_rng(seed),
+                                    **kwargs)
+
+
+class TestValidation:
+    def test_satellite_count(self):
+        with pytest.raises(ValueError):
+            BeaconDiscoverySimulator(0)
+
+    def test_loss_probability(self):
+        with pytest.raises(ValueError):
+            BeaconDiscoverySimulator(3, loss_probability=1.0)
+
+    def test_run_arguments(self):
+        sim = simulator()
+        with pytest.raises(ValueError):
+            sim.run(0.0, 100.0)
+        with pytest.raises(ValueError):
+            sim.run(1.0, 0.0)
+
+
+class TestDiscovery:
+    def test_lossless_discovers_everyone_within_one_period(self):
+        sim = simulator(count=8)
+        result = sim.run(beacon_period_s=10.0, duration_s=100.0)
+        assert result.discovered == 8
+        assert result.full_discovery_s is not None
+        # Phases are uniform in [0, period): everyone heard by t=period.
+        assert result.full_discovery_s <= 10.0
+
+    def test_first_discovery_before_full(self):
+        result = simulator(count=8).run(5.0, 100.0)
+        assert result.first_discovery_s <= result.full_discovery_s
+
+    def test_shorter_period_faster_discovery_more_airtime(self):
+        fast = simulator(seed=1).run(1.0, 300.0)
+        slow = simulator(seed=1).run(30.0, 300.0)
+        assert fast.full_discovery_s < slow.full_discovery_s
+        assert fast.airtime_fraction > slow.airtime_fraction
+        assert fast.beacons_sent > slow.beacons_sent
+
+    def test_loss_delays_discovery(self):
+        clean = simulator(seed=2).run(5.0, 600.0)
+        lossy = simulator(seed=2, loss_probability=0.8).run(5.0, 600.0)
+        # With loss, full discovery needs retransmissions.
+        assert (lossy.full_discovery_s is None
+                or lossy.full_discovery_s >= clean.full_discovery_s)
+
+    def test_too_short_run_leaves_full_none(self):
+        result = simulator(count=10).run(beacon_period_s=50.0,
+                                         duration_s=10.0)
+        assert result.full_discovery_s is None or result.discovered == 10
+
+    def test_beacon_count_matches_schedule(self):
+        count = 5
+        result = simulator(count=count).run(10.0, 100.0)
+        # Each satellite beacons about duration/period times.
+        assert count * 9 <= result.beacons_sent <= count * 11
+
+    def test_sweep_runs_all_periods(self):
+        results = simulator().sweep([1.0, 5.0, 25.0], 200.0)
+        assert [r.beacon_period_s for r in results] == [1.0, 5.0, 25.0]

@@ -1,0 +1,87 @@
+"""Tests for the preemptive QoS planner."""
+
+import pytest
+
+from repro.core.interop import SizeClass
+from repro.core.qos_planner import (
+    DEFAULT_CLASSES,
+    QosForecast,
+    QosForecastEntry,
+    QosPlanner,
+)
+from repro.orbits.coordinates import GeodeticPoint
+
+REGIONS = {
+    "east-africa": GeodeticPoint(-1.29, 36.82),
+    "central-europe": GeodeticPoint(48.0, 11.0),
+}
+
+
+@pytest.fixture(scope="module")
+def forecast(network):
+    planner = QosPlanner(network)
+    return planner.forecast(REGIONS, start_s=0.0, horizon_s=1800.0,
+                            epoch_s=600.0)
+
+
+class TestForecast:
+    def test_entry_per_region_per_epoch(self, forecast):
+        assert len(forecast.entries) == 2 * 3
+
+    def test_classes_ordered_most_stringent_first(self):
+        names = [name for name, _req in DEFAULT_CLASSES]
+        assert names == ["premium", "standard", "best_effort"]
+
+    def test_admissible_classes_nested(self, forecast):
+        # If premium is admissible, the looser classes must be too.
+        order = [name for name, _req in DEFAULT_CLASSES]
+        for entry in forecast.entries:
+            indices = [order.index(c) for c in entry.admissible_classes]
+            if indices:
+                assert indices == sorted(indices)
+                assert indices[-1] == len(order) - 1 or not indices
+
+    def test_best_class_consistent(self, forecast):
+        for entry in forecast.entries:
+            if entry.admissible_classes:
+                assert entry.best_class == entry.admissible_classes[0]
+            else:
+                assert entry.best_class == "none"
+
+    def test_served_regions_get_service(self, forecast):
+        # The MEDIUM (laser) reference fleet over a well-gatewayed region
+        # should admit at least best-effort most of the time.
+        availability = forecast.availability_of_class(
+            "east-africa", "best_effort"
+        )
+        assert availability > 0.5
+
+
+class TestGuarantees:
+    def test_guaranteed_class_is_weakest_over_horizon(self):
+        forecast = QosForecast(entries=[
+            QosForecastEntry(0.0, "r", ("premium", "standard",
+                                        "best_effort"), "premium"),
+            QosForecastEntry(300.0, "r", ("best_effort",), "best_effort"),
+        ])
+        assert forecast.guaranteed_class("r") == "best_effort"
+
+    def test_unserved_epoch_voids_guarantee(self):
+        forecast = QosForecast(entries=[
+            QosForecastEntry(0.0, "r", ("premium",), "premium"),
+            QosForecastEntry(300.0, "r", (), "none"),
+        ])
+        assert forecast.guaranteed_class("r") == "none"
+
+    def test_unknown_region(self):
+        assert QosForecast().guaranteed_class("atlantis") == "none"
+        assert QosForecast().availability_of_class("atlantis", "premium") == 0.0
+
+
+class TestValidation:
+    def test_bad_horizon(self, network):
+        planner = QosPlanner(network)
+        with pytest.raises(ValueError):
+            planner.forecast(REGIONS, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            planner.forecast(REGIONS, 0.0, 100.0, epoch_s=0.0)

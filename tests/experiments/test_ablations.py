@@ -1,0 +1,119 @@
+"""Tests for the ablation experiment drivers."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    _size_mix_for_fraction,
+    ablation_economics,
+    ablation_federation,
+    ablation_handover,
+    ablation_isl_mix,
+    ablation_mac,
+)
+
+
+class TestSizeMix:
+    def test_endpoints(self):
+        from repro.core.interop import SizeClass
+        assert all(s is SizeClass.SMALL for s in _size_mix_for_fraction(0.0))
+        assert all(s is SizeClass.MEDIUM for s in _size_mix_for_fraction(1.0))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _size_mix_for_fraction(1.5)
+
+
+class TestIslMix:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_isl_mix(laser_fractions=(0.0, 0.5, 1.0),
+                                satellite_count=36)
+
+    def test_premium_admission_grows_with_lasers(self, rows):
+        by_fraction = {row["laser_fraction"]: row for row in rows}
+        assert (by_fraction[1.0]["premium_admission"]
+                >= by_fraction[0.0]["premium_admission"])
+        assert by_fraction[0.0]["premium_admission"] < 0.5
+        assert by_fraction[1.0]["premium_admission"] > 0.5
+
+    def test_capex_grows_with_lasers(self, rows):
+        capex = [row["fleet_capex_musd"] for row in rows]
+        assert capex == sorted(capex)
+
+    def test_laser_capex_delta_reflects_terminal_price(self, rows):
+        by_fraction = {row["laser_fraction"]: row for row in rows}
+        delta_musd = (by_fraction[1.0]["fleet_capex_musd"]
+                      - by_fraction[0.0]["fleet_capex_musd"])
+        # 36 laser terminals at $0.5M each are part of the delta.
+        assert delta_musd > 36 * 0.5
+
+
+class TestMacAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_mac(station_counts=(2, 8), duration_s=200.0)
+
+    def test_rows_cover_requested_counts(self, rows):
+        assert [row["stations"] for row in rows] == [2, 8]
+
+    def test_csma_delivery_degrades_with_contention(self, rows):
+        assert rows[1]["csma_delivery"] <= rows[0]["csma_delivery"] + 0.02
+
+    def test_tdma_never_collides_so_delivery_high_at_low_load(self, rows):
+        assert rows[0]["tdma_delivery"] > 0.9
+
+
+class TestHandoverAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_handover(duration_s=3600.0)
+
+    def test_predictive_wins(self, result):
+        assert (result["predictive"]["total_interruption_s"]
+                < result["reauthenticate"]["total_interruption_s"])
+        assert result["interruption_ratio"] > 2.0
+
+    def test_handover_happens(self, result):
+        # LEO passes are minutes long: an hour forces several handovers.
+        assert result["handover_count"] >= 3
+
+    def test_availability_high_for_both(self, result):
+        assert result["predictive"]["availability"] > 0.99
+        assert result["reauthenticate"]["availability"] > 0.9
+
+
+class TestEconomicsAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_economics(transfer_count=150, seed=5)
+
+    def test_all_fraud_caught(self, result):
+        assert result["mismatches_caught"] == result["fraud_injected"]
+        assert result["fraud_injected"] > 0
+
+    def test_symmetric_pair_peers(self, result):
+        assert ("isp-a", "isp-b") in result["peering_recommended"]
+
+    def test_net_positions_balance(self, result):
+        assert sum(result["net_positions"].values()) == pytest.approx(0.0)
+
+
+class TestFederationAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_federation(operator_counts=(1, 3), seed=2)
+
+    def test_federated_reachability_independent_of_fragmentation(self, rows):
+        values = [row["federated_reachability"] for row in rows]
+        assert max(values) - min(values) < 0.15
+
+    def test_solo_worse_than_federated_when_fragmented(self, rows):
+        fragmented = rows[-1]
+        assert (fragmented["solo_reachability"]
+                < fragmented["federated_reachability"])
+
+    def test_per_operator_capex_falls_with_collaboration(self, rows):
+        assert (rows[-1]["per_operator_capex_musd"]
+                < rows[0]["per_operator_capex_musd"])

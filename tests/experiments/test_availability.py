@@ -1,0 +1,64 @@
+"""Tests for the availability and resilience experiment drivers."""
+
+import pytest
+
+from repro.experiments.availability import (
+    SAMPLE_SITES,
+    availability_sweep,
+    resilience_sweep,
+)
+
+
+class TestAvailabilitySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return availability_sweep(fleet_sizes=(12, 66), epochs=4, seed=37)
+
+    def test_row_per_size_plus_structured(self, rows):
+        assert len(rows) == 3
+        assert rows[-1]["layout"] == "walker-star"
+
+    def test_site_columns_present(self, rows):
+        for name, _site in SAMPLE_SITES:
+            assert f"{name}_availability" in rows[0]
+
+    def test_bigger_fleet_more_available(self, rows):
+        assert rows[1]["mean"] >= rows[0]["mean"]
+
+    def test_structured_fleet_near_total(self, rows):
+        assert rows[-1]["mean"] > 0.9
+
+    def test_availability_bounded(self, rows):
+        for row in rows:
+            assert 0.0 <= row["mean"] <= 1.0
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            availability_sweep(fleet_sizes=(5,), epochs=0)
+
+    def test_structured_row_optional(self):
+        rows = availability_sweep(fleet_sizes=(12,), epochs=2,
+                                  include_structured=False)
+        assert len(rows) == 1
+        assert rows[0]["layout"] == "random"
+
+
+class TestResilienceSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return resilience_sweep(failure_fractions=(0.0, 0.2, 0.5), epochs=3)
+
+    def test_baseline_fully_available(self, rows):
+        assert rows[0]["mean_availability"] == 1.0
+        assert rows[0]["surviving"] == 66
+
+    def test_monotone_degradation(self, rows):
+        values = [row["mean_availability"] for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_survivor_counts(self, rows):
+        assert [row["surviving"] for row in rows] == [66, 53, 33]
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            resilience_sweep(failure_fractions=(1.0,), epochs=2)

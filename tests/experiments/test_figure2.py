@@ -1,0 +1,106 @@
+"""Tests for the Figure 2 experiment drivers (shape assertions).
+
+These assert the qualitative claims of the paper's evaluation, not exact
+numbers: the reproduction runs on a synthetic substrate, so who-wins and
+where the curves bend is what must hold (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.figure2 import (
+    figure_2a_constellation,
+    figure_2b_latency,
+    figure_2c_coverage,
+)
+
+
+class TestFigure2a:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return figure_2a_constellation()
+
+    def test_constellation_parameters_match_paper(self, report):
+        assert report.satellite_count == 66
+        assert report.plane_count == 6
+        assert report.altitude_km == pytest.approx(780.0)
+        assert report.inclination_deg == pytest.approx(86.4)
+
+    def test_global_coverage(self, report):
+        assert report.coverage_union > 0.99
+
+    def test_isl_graph_connected_and_sustained(self, report):
+        assert report.connected
+        assert report.isl_count >= 66
+        # ISL distances must stay within what S-band budgets close at.
+        assert report.max_isl_distance_km < 6000.0
+
+
+class TestFigure2b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_2b_latency(
+            satellite_counts=[4, 10, 25, 45, 70], trials=3, epochs=6, seed=7,
+        )
+
+    def test_reachability_increases_with_fleet_size(self, result):
+        reach = result["reachability"]
+        assert reach[70] > reach[25] > reach[4]
+        assert reach[70] > 0.5
+
+    def test_minimum_fleet_mostly_unreachable(self, result):
+        # The paper: ~4 satellites are the bare minimum; a 4-sat random
+        # fleet rarely yields a relay path at any instant.
+        assert result["reachability"][4] < 0.3
+
+    def test_latency_plateau_for_large_fleets(self, result):
+        rows = {row["x"]: row for row in result["series"]}
+        assert 70 in rows
+        # The paper's plateau is ~30 ms; anything in the same band passes.
+        assert 20.0 < rows[70]["mean"] < 70.0
+
+    def test_large_fleet_latency_not_worse_than_mid(self, result):
+        rows = {row["x"]: row["mean"] for row in result["series"]}
+        if 25 in rows and 70 in rows:
+            assert rows[70] <= rows[25] * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figure_2b_latency(trials=0)
+        with pytest.raises(ValueError):
+            figure_2b_latency(epochs=0)
+
+
+class TestFigure2c:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure_2c_coverage(
+            satellite_counts=[1, 4, 12, 25, 50, 80], trials=4, seed=7,
+        )
+
+    def test_union_coverage_monotone(self, rows):
+        unions = [row["union"] for row in rows]
+        for earlier, later in zip(unions[:-1], unions[1:]):
+            assert later >= earlier - 0.02  # trial noise allowance
+
+    def test_total_coverage_around_fifty(self, rows):
+        by_count = {row["satellites"]: row for row in rows}
+        # The paper: total earth coverage by about 50 satellites.
+        assert by_count[50]["union"] > 0.90
+        assert by_count[80]["union"] > 0.95
+
+    def test_single_satellite_small_coverage(self, rows):
+        assert rows[0]["union"] < 0.10
+
+    def test_worst_case_bounded_by_union(self, rows):
+        for row in rows:
+            assert row["worst_case"] <= row["union"] + 0.05
+            assert row["cluster"] <= row["worst_case"] + 1e-9
+
+    def test_worst_case_saturates_at_packing_limit(self, rows):
+        by_count = {row["satellites"]: row for row in rows}
+        # The pairwise rule cannot exceed the disjoint-cap packing bound.
+        assert by_count[80]["worst_case"] < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figure_2c_coverage(trials=0)

@@ -1,0 +1,50 @@
+"""Tests for the provider-mix experiment (paper open question 1)."""
+
+import pytest
+
+from repro.experiments.provider_mix import QOS_CLASSES, provider_mix_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return provider_mix_sweep(
+        mixes=((3, 0), (1, 2), (0, 3)), satellite_count=36, flow_count=30,
+        seed=29,
+    )
+
+
+class TestProviderMix:
+    def test_qos_classes_cover_traffic_mix(self):
+        assert set(QOS_CLASSES) == {"best_effort", "standard", "premium"}
+
+    def test_one_result_per_mix(self, sweep):
+        assert [r.mix_name for r in sweep] == [
+            "3 small + 0 medium", "1 small + 2 medium", "0 small + 3 medium",
+        ]
+
+    def test_best_effort_always_served(self, sweep):
+        # The unit sweep runs a 36-satellite partial fleet, so coverage
+        # gaps make many flows unroutable regardless of QoS; a meaningful
+        # fraction must still be served (the full-fleet behaviour is
+        # asserted by the benchmark at 66 satellites).
+        for result in sweep:
+            assert result.admission_by_class.get("best_effort", 1.0) > 0.3
+
+    def test_premium_improves_with_medium_operators(self, sweep):
+        all_small = sweep[0]
+        all_medium = sweep[-1]
+        assert (all_medium.admission_by_class.get("premium", 0.0)
+                >= all_small.admission_by_class.get("premium", 0.0))
+
+    def test_capex_grows_with_medium_share(self, sweep):
+        capex = [r.capex_musd for r in sweep]
+        assert capex == sorted(capex)
+
+    def test_cost_effectiveness_reported(self, sweep):
+        for result in sweep:
+            assert result.premium_capacity_per_musd >= 0.0
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError, match="at least one operator"):
+            provider_mix_sweep(mixes=((0, 0),), satellite_count=12,
+                               flow_count=5)

@@ -1,0 +1,69 @@
+"""Tests for the Figure-2 sensitivity sweeps and the CBO cross-check."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    coverage_altitude_sensitivity,
+    coverage_mask_sensitivity,
+    latency_site_sensitivity,
+)
+from repro.orbits.constants import CBO_EXPECTED_COVERAGE
+from repro.orbits.visibility import coverage_fraction
+from repro.orbits.walker import cbo_reference
+
+
+class TestCboCrossCheck:
+    def test_cbo_reference_hits_cited_coverage(self):
+        """The paper cites CBO: 72 sats, 12x6 planes at 80 deg give ~95%.
+
+        Our independent geometry should land close to that figure — a
+        validation of the whole coverage pipeline against an external
+        number.
+        """
+        constellation = cbo_reference()
+        coverage = coverage_fraction(
+            constellation.positions_at(0.0), 780.0,
+            min_elevation_deg=10.0, grid_resolution=36,
+        )
+        assert coverage == pytest.approx(CBO_EXPECTED_COVERAGE, abs=0.06)
+
+
+class TestMaskSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return coverage_mask_sensitivity(masks_deg=(0.0, 10.0, 25.0),
+                                         trials=3)
+
+    def test_coverage_falls_with_mask(self, rows):
+        coverages = [row["coverage"] for row in rows]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_headline_robust_at_moderate_mask(self, rows):
+        by_mask = {row["mask_deg"]: row["coverage"] for row in rows}
+        # The 50-satellite near-total-coverage claim holds at the horizon
+        # mask the paper's geometry implies, degrades to ~0.7 at a 10 deg
+        # user mask, and collapses at 25 deg — the claim is
+        # mask-sensitive, which EXPERIMENTS.md documents.
+        assert by_mask[0.0] > 0.85
+        assert 0.5 < by_mask[10.0] < 0.85
+        assert by_mask[25.0] < 0.5
+
+
+class TestAltitudeSensitivity:
+    def test_coverage_grows_with_altitude(self):
+        rows = coverage_altitude_sensitivity(
+            altitudes_km=(400.0, 780.0, 1200.0), trials=3,
+        )
+        coverages = [row["coverage"] for row in rows]
+        assert coverages == sorted(coverages)
+
+
+class TestSiteSensitivity:
+    def test_plateau_tracks_site_distance(self):
+        rows = latency_site_sensitivity(trials=2, epochs=5)
+        by_name = {row["sites"]: row for row in rows}
+        near = by_name["nairobi->nairobi-gw"]["latency_mean_ms"]
+        far = by_name["sydney->frankfurt"]["latency_mean_ms"]
+        default = by_name["nairobi->frankfurt"]["latency_mean_ms"]
+        # Latency ordering follows great-circle distance.
+        assert near < default < far

@@ -1,0 +1,129 @@
+"""Tests for antenna-time scheduling at shared ground stations."""
+
+import pytest
+
+from repro.ground.scheduling import (
+    AntennaScheduler,
+    ContactRequest,
+    Reservation,
+    ScheduleResult,
+)
+from repro.orbits.contact import ContactWindow
+
+
+def request(request_id, provider, start, end, priority=1.0, min_dur=60.0):
+    return ContactRequest(
+        request_id=request_id, provider=provider,
+        window=ContactWindow(0, start, end, 1.0),
+        min_duration_s=min_dur, priority=priority,
+    )
+
+
+class TestValidation:
+    def test_scheduler_arguments(self):
+        with pytest.raises(ValueError):
+            AntennaScheduler(antenna_count=0)
+        with pytest.raises(ValueError):
+            AntennaScheduler(slew_gap_s=-1.0)
+
+    def test_request_arguments(self):
+        with pytest.raises(ValueError):
+            request("r", "p", 0.0, 100.0, min_dur=0.0)
+        with pytest.raises(ValueError):
+            ContactRequest("r", "p", ContactWindow(0, 100.0, 100.0, 1.0))
+
+
+class TestSingleAntenna:
+    def test_non_overlapping_all_granted(self):
+        scheduler = AntennaScheduler(antenna_count=1, slew_gap_s=0.0)
+        result = scheduler.schedule([
+            request("r1", "op-a", 0.0, 300.0),
+            request("r2", "op-b", 400.0, 700.0),
+        ])
+        assert result.grant_ratio == 1.0
+        assert len(result.reservations) == 2
+
+    def test_conflicting_requests_arbitrated(self):
+        scheduler = AntennaScheduler(antenna_count=1, slew_gap_s=0.0)
+        result = scheduler.schedule([
+            request("r1", "op-a", 0.0, 300.0, min_dur=250.0),
+            request("r2", "op-b", 0.0, 300.0, min_dur=250.0),
+        ])
+        assert len(result.reservations) == 1
+        assert len(result.rejected) == 1
+
+    def test_priority_wins_conflicts(self):
+        scheduler = AntennaScheduler(antenna_count=1, slew_gap_s=0.0)
+        result = scheduler.schedule([
+            request("cheap", "op-a", 0.0, 300.0, priority=1.0,
+                    min_dur=250.0),
+            request("vip", "op-b", 0.0, 300.0, priority=5.0, min_dur=250.0),
+        ])
+        assert result.reservations[0].request_id == "vip"
+        assert result.rejected[0].request_id == "cheap"
+
+    def test_slew_gap_enforced(self):
+        scheduler = AntennaScheduler(antenna_count=1, slew_gap_s=60.0)
+        result = scheduler.schedule([
+            request("r1", "op-a", 0.0, 300.0, min_dur=290.0),
+            request("r2", "op-b", 310.0, 600.0, min_dur=280.0),
+        ])
+        # r2's window starts only 10 s after r1 ends: the 60 s slew gap
+        # forces a rejection (cannot fit 280 s after the gap).
+        assert len(result.reservations) == 1
+
+    def test_short_windows_rejected(self):
+        scheduler = AntennaScheduler()
+        result = scheduler.schedule([
+            request("r1", "op-a", 0.0, 50.0, min_dur=60.0),
+        ])
+        assert result.rejected and not result.reservations
+
+
+class TestMultiAntenna:
+    def test_parallel_antennas_double_capacity(self):
+        conflicting = [
+            request(f"r{i}", f"op-{i}", 0.0, 300.0, min_dur=250.0)
+            for i in range(3)
+        ]
+        single = AntennaScheduler(antenna_count=1,
+                                  slew_gap_s=0.0).schedule(conflicting)
+        double = AntennaScheduler(antenna_count=2,
+                                  slew_gap_s=0.0).schedule(conflicting)
+        assert len(double.reservations) == len(single.reservations) + 1
+
+    def test_busy_time_tracked_per_antenna(self):
+        scheduler = AntennaScheduler(antenna_count=2, slew_gap_s=0.0)
+        result = scheduler.schedule([
+            request("r1", "op-a", 0.0, 300.0, min_dur=250.0),
+            request("r2", "op-b", 0.0, 300.0, min_dur=250.0),
+        ])
+        assert all(busy > 0 for busy in result.antenna_busy_s.values())
+
+
+class TestAccounting:
+    def test_provider_time(self):
+        scheduler = AntennaScheduler(antenna_count=2, slew_gap_s=0.0)
+        result = scheduler.schedule([
+            request("r1", "op-a", 0.0, 300.0),
+            request("r2", "op-a", 400.0, 600.0),
+            request("r3", "op-b", 0.0, 300.0),
+        ])
+        usage = result.provider_time_s()
+        assert usage["op-a"] > usage["op-b"]
+
+    def test_empty_schedule(self):
+        result = AntennaScheduler().schedule([])
+        assert result.grant_ratio == 0.0
+        assert result.provider_time_s() == {}
+
+    def test_earliest_deadline_maximizes_grants(self):
+        # Classic interval scheduling: EDF grants both short passes where
+        # a naive order could block with the long one.
+        scheduler = AntennaScheduler(antenna_count=1, slew_gap_s=0.0)
+        result = scheduler.schedule([
+            request("long", "op-a", 0.0, 1000.0, min_dur=900.0),
+            request("early", "op-b", 0.0, 200.0, min_dur=150.0),
+        ])
+        granted = {r.request_id for r in result.reservations}
+        assert "early" in granted

@@ -1,0 +1,116 @@
+"""Tests for the ISL link abstraction."""
+
+import pytest
+
+from repro.isl.link import (
+    IslLink,
+    LinkTechnology,
+    best_link_between,
+    candidate_links,
+    technology_of,
+)
+from repro.phy.optical import OpticalTerminal
+from repro.phy.rf import (
+    RFTerminal,
+    standard_ku_space_terminal,
+    standard_sband_isl_terminal,
+    standard_uhf_isl_terminal,
+)
+
+
+class TestTechnologyClassification:
+    def test_rf_bands(self):
+        assert technology_of(standard_uhf_isl_terminal()) is LinkTechnology.RF_UHF
+        assert technology_of(
+            standard_sband_isl_terminal()
+        ) is LinkTechnology.RF_SBAND
+
+    def test_optical(self):
+        assert technology_of(OpticalTerminal()) is LinkTechnology.OPTICAL
+
+    def test_ground_band_is_not_isl(self):
+        assert technology_of(standard_ku_space_terminal()) is None
+
+    def test_is_rf_flags(self):
+        assert LinkTechnology.RF_UHF.is_rf
+        assert LinkTechnology.RF_SBAND.is_rf
+        assert not LinkTechnology.OPTICAL.is_rf
+
+
+class TestCandidateLinks:
+    def test_only_common_technologies(self):
+        a = [standard_uhf_isl_terminal(), standard_sband_isl_terminal()]
+        b = [standard_sband_isl_terminal()]
+        links = list(candidate_links("x", a, "y", b, 1000.0))
+        assert {l.technology for l in links} == {LinkTechnology.RF_SBAND}
+
+    def test_no_common_technology(self):
+        a = [standard_uhf_isl_terminal()]
+        b = [OpticalTerminal()]
+        assert list(candidate_links("x", a, "y", b, 1000.0)) == []
+
+    def test_all_three_when_fully_equipped(self):
+        terms = [
+            standard_uhf_isl_terminal(),
+            standard_sband_isl_terminal(),
+            OpticalTerminal(),
+        ]
+        links = list(candidate_links("x", terms, "y", terms, 1000.0))
+        assert len(links) == 3
+
+
+class TestBestLink:
+    FULL = [
+        standard_uhf_isl_terminal(),
+        standard_sband_isl_terminal(),
+        OpticalTerminal(),
+    ]
+    RF_ONLY = [standard_uhf_isl_terminal(), standard_sband_isl_terminal()]
+
+    def test_optical_wins_when_available(self):
+        link = best_link_between("a", self.FULL, "b", self.FULL, 2000.0)
+        assert link.technology is LinkTechnology.OPTICAL
+
+    def test_falls_back_to_rf(self):
+        link = best_link_between("a", self.FULL, "b", self.RF_ONLY, 2000.0)
+        assert link.technology.is_rf
+
+    def test_prefer_optical_false_skips_laser(self):
+        link = best_link_between("a", self.FULL, "b", self.FULL, 2000.0,
+                                 prefer_optical=False)
+        assert link.technology.is_rf
+
+    def test_sband_beats_uhf(self):
+        link = best_link_between("a", self.RF_ONLY, "b", self.RF_ONLY, 2000.0)
+        assert link.technology is LinkTechnology.RF_SBAND
+
+    def test_none_when_too_far(self):
+        link = best_link_between("a", self.RF_ONLY, "b", self.RF_ONLY, 50000.0)
+        assert link is None
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            best_link_between("a", self.FULL, "b", self.FULL, 0.0)
+
+
+class TestIslLinkProperties:
+    def _link(self, distance_km=3000.0):
+        t = standard_sband_isl_terminal()
+        return best_link_between("a", [t], "b", [t], distance_km)
+
+    def test_propagation_delay(self):
+        link = self._link(2997.92458)
+        assert link.propagation_delay_s == pytest.approx(0.01)
+
+    def test_usable_flag(self):
+        assert self._link().usable
+
+    def test_serialization_delay(self):
+        link = self._link()
+        expected = 12_000.0 / link.capacity_bps
+        assert link.serialization_delay_s() == pytest.approx(expected)
+
+    def test_serialization_infinite_when_dead(self):
+        dead = IslLink("a", "b", LinkTechnology.RF_UHF, 1.0,
+                       self._link().budget, 0.0)
+        assert dead.serialization_delay_s() == float("inf")

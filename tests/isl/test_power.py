@@ -1,0 +1,112 @@
+"""Tests for power budgets and slew models."""
+
+import pytest
+
+from repro.isl.power import (
+    PowerBudget,
+    SlewModel,
+    largesat_power_budget,
+    midsat_power_budget,
+    smallsat_power_budget,
+)
+
+
+class TestPowerBudget:
+    def test_charge_defaults_to_full(self):
+        budget = PowerBudget(battery_capacity_wh=100.0, solar_generation_w=50.0)
+        assert budget.charge_wh == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerBudget(battery_capacity_wh=0.0, solar_generation_w=50.0)
+        with pytest.raises(ValueError):
+            PowerBudget(battery_capacity_wh=10.0, solar_generation_w=5.0,
+                        max_concurrent_isls=-1)
+
+    def test_concurrency_ceiling(self):
+        budget = PowerBudget(battery_capacity_wh=1000.0,
+                             solar_generation_w=1000.0,
+                             max_concurrent_isls=2)
+        budget.activate_isl("l1", 10.0)
+        budget.activate_isl("l2", 10.0)
+        assert not budget.can_activate_isl(10.0)
+        with pytest.raises(RuntimeError, match="power budget exhausted"):
+            budget.activate_isl("l3", 10.0)
+
+    def test_power_ceiling(self):
+        budget = PowerBudget(battery_capacity_wh=50.0, solar_generation_w=60.0,
+                             bus_load_w=20.0, max_concurrent_isls=8)
+        # Sustainable = 60 + 0.2*50 = 70 W; bus 20 leaves 50 W.
+        assert budget.can_activate_isl(50.0)
+        assert not budget.can_activate_isl(51.0)
+
+    def test_activate_idempotent(self):
+        budget = smallsat_power_budget()
+        budget.activate_isl("l1", 10.0)
+        budget.activate_isl("l1", 10.0)
+        assert budget.active_isl_count == 1
+
+    def test_deactivate_unknown_is_noop(self):
+        budget = smallsat_power_budget()
+        budget.deactivate_isl("ghost")
+        assert budget.active_isl_count == 0
+
+    def test_step_discharges_under_load(self):
+        budget = PowerBudget(battery_capacity_wh=100.0,
+                             solar_generation_w=10.0, bus_load_w=20.0)
+        budget.step(3600.0)
+        assert budget.charge_wh == pytest.approx(90.0)
+
+    def test_step_charges_in_surplus_and_caps(self):
+        budget = PowerBudget(battery_capacity_wh=100.0,
+                             solar_generation_w=100.0, bus_load_w=10.0,
+                             charge_wh=95.0)
+        budget.step(3600.0)
+        assert budget.charge_wh == 100.0
+
+    def test_depleted_flag(self):
+        budget = PowerBudget(battery_capacity_wh=10.0, solar_generation_w=0.0,
+                             bus_load_w=20.0, charge_wh=1.0)
+        budget.step(3600.0)
+        assert budget.depleted
+
+    def test_step_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            smallsat_power_budget().step(-1.0)
+
+    def test_class_presets_ordered(self):
+        small = smallsat_power_budget()
+        mid = midsat_power_budget()
+        large = largesat_power_budget()
+        assert (small.solar_generation_w < mid.solar_generation_w
+                < large.solar_generation_w)
+        assert small.max_concurrent_isls <= mid.max_concurrent_isls
+
+
+class TestSlewModel:
+    def test_zero_angle_zero_time(self):
+        assert SlewModel().slew_time_s(0.0) == 0.0
+
+    def test_time_grows_with_angle(self):
+        model = SlewModel()
+        assert model.slew_time_s(90.0) > model.slew_time_s(10.0)
+
+    def test_small_angle_triangular_profile(self):
+        model = SlewModel(max_rate_deg_s=10.0, acceleration_deg_s2=1.0)
+        # Below the ramp angle (100 deg) the profile never cruises:
+        # t = 2 sqrt(angle / accel).
+        assert model.slew_time_s(25.0) == pytest.approx(10.0)
+
+    def test_large_angle_includes_cruise(self):
+        model = SlewModel(max_rate_deg_s=1.0, acceleration_deg_s2=0.1)
+        # Ramp angle = 10 deg; 70 deg cruises for 60 s after a 20 s ramp.
+        assert model.slew_time_s(70.0) == pytest.approx(80.0)
+
+    def test_energy_proportional_to_time(self):
+        model = SlewModel(power_w=36.0)
+        t = model.slew_time_s(45.0)
+        assert model.slew_energy_wh(45.0) == pytest.approx(36.0 * t / 3600.0)
+
+    def test_rejects_negative_angle(self):
+        with pytest.raises(ValueError):
+            SlewModel().slew_time_s(-5.0)

@@ -1,0 +1,95 @@
+"""Tests for the OFDMA downlink scheduler."""
+
+import pytest
+
+from repro.mac.ofdm import OfdmConfig, OfdmaScheduler, UserDemand
+
+
+def make_users(snrs, demand_bps=20e6):
+    return [
+        UserDemand(user_id=f"u{i}", snr_db=snr, demand_bps=demand_bps)
+        for i, snr in enumerate(snrs)
+    ]
+
+
+class TestConfig:
+    def test_total_blocks(self):
+        cfg = OfdmConfig(channel_bandwidth_hz=250e6,
+                         subcarrier_spacing_hz=240e3,
+                         subcarriers_per_block=12)
+        assert cfg.total_blocks == int(250e6 // (240e3 * 12))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfdmConfig(channel_bandwidth_hz=0.0)
+        with pytest.raises(ValueError):
+            OfdmConfig(cyclic_prefix_overhead=1.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            OfdmaScheduler(OfdmConfig(), policy="fifo")
+
+
+class TestScheduling:
+    def test_grants_cover_demand_when_capacity_allows(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = make_users([15.0, 15.0], demand_bps=5e6)
+        grants = sched.schedule(users)
+        for grant in grants:
+            assert grant.rate_bps >= 5e6
+
+    def test_blocks_never_exceed_total(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = make_users([12.0] * 30, demand_bps=100e6)
+        grants = sched.schedule(users)
+        assert sum(g.blocks for g in grants) <= sched.config.total_blocks
+
+    def test_unclosable_user_gets_nothing(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = make_users([-10.0, 15.0])
+        grants = {g.user_id: g for g in sched.schedule(users)}
+        assert grants["u0"].blocks == 0
+        assert grants["u0"].modcod_name is None
+        assert grants["u1"].blocks > 0
+
+    def test_zero_demand_user_gets_nothing(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = [UserDemand("idle", 15.0, 0.0), UserDemand("busy", 15.0, 50e6)]
+        grants = {g.user_id: g for g in sched.schedule(users)}
+        assert grants["idle"].blocks == 0
+        assert grants["busy"].blocks > 0
+
+    def test_better_channel_higher_rate_per_block(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = make_users([3.0, 16.0], demand_bps=500e6)
+        grants = {g.user_id: g for g in sched.schedule(users)}
+        if grants["u0"].blocks and grants["u1"].blocks:
+            rate0 = grants["u0"].rate_bps / grants["u0"].blocks
+            rate1 = grants["u1"].rate_bps / grants["u1"].blocks
+            assert rate1 > rate0
+
+    def test_round_robin_spreads_blocks(self):
+        sched = OfdmaScheduler(OfdmConfig(), policy="round_robin")
+        users = make_users([12.0] * 4, demand_bps=1e9)
+        grants = sched.schedule(users)
+        blocks = [g.blocks for g in grants]
+        assert max(blocks) - min(blocks) <= 1
+
+    def test_proportional_fair_average_updates(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = make_users([12.0, 12.0], demand_bps=1e9)
+        assert all(u.average_rate_bps == 1.0 for u in users)
+        sched.schedule(users)
+        assert all(u.average_rate_bps > 1.0 for u in users)
+
+    def test_pf_starved_user_recovers_priority(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        rich = UserDemand("rich", 16.0, 1e9, average_rate_bps=5e8)
+        poor = UserDemand("poor", 10.0, 1e9, average_rate_bps=1.0)
+        grants = {g.user_id: g for g in sched.schedule([rich, poor])}
+        assert grants["poor"].blocks > 0
+
+    def test_aggregate_throughput_positive(self):
+        sched = OfdmaScheduler(OfdmConfig())
+        users = make_users([8.0, 12.0, 16.0], demand_bps=1e9)
+        assert sched.aggregate_throughput_bps(users) > 100e6

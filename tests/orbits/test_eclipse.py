@@ -1,0 +1,122 @@
+"""Tests for eclipse geometry and orbit-average power."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.constants import EARTH_RADIUS_KM
+from repro.orbits.eclipse import (
+    eclipse_fraction,
+    eclipse_windows,
+    in_eclipse,
+    orbit_average_generation_w,
+    sun_direction,
+)
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.kepler import KeplerPropagator
+
+R_ORBIT = EARTH_RADIUS_KM + 780.0
+
+
+class TestSunDirection:
+    def test_unit_vector(self):
+        for t in (0.0, 1e6, 1e7):
+            assert np.linalg.norm(sun_direction(t)) == pytest.approx(1.0)
+
+    def test_equinox_along_x(self):
+        sun = sun_direction(0.0)
+        assert sun[0] == pytest.approx(1.0)
+        assert abs(sun[1]) < 1e-9
+        assert abs(sun[2]) < 1e-9
+
+    def test_half_year_reverses(self):
+        from repro.orbits.eclipse import YEAR_S
+        sun = sun_direction(YEAR_S / 2.0)
+        assert sun[0] == pytest.approx(-1.0, abs=1e-9)
+
+    def test_solstice_out_of_equator(self):
+        from repro.orbits.eclipse import YEAR_S
+        sun = sun_direction(YEAR_S / 4.0)
+        assert abs(sun[2]) > 0.3  # tilted by the obliquity
+
+
+class TestInEclipse:
+    def test_sunward_side_lit(self):
+        # At t=0 the sun is along +x; a satellite at +x is lit.
+        assert not in_eclipse(np.array([R_ORBIT, 0.0, 0.0]), 0.0)
+
+    def test_antisun_side_dark(self):
+        assert in_eclipse(np.array([-R_ORBIT, 0.0, 0.0]), 0.0)
+
+    def test_antisun_but_outside_cylinder_lit(self):
+        # Behind the Earth but displaced beyond one Earth radius.
+        position = np.array([-R_ORBIT, EARTH_RADIUS_KM + 1000.0, 0.0])
+        assert not in_eclipse(position, 0.0)
+
+    def test_terminator_side_lit(self):
+        assert not in_eclipse(np.array([0.0, R_ORBIT, 0.0]), 0.0)
+
+
+class TestEclipseFraction:
+    def test_equatorial_orbit_at_equinox_sees_canonical_fraction(self):
+        # Shadow half-angle = asin(R / r): fraction = angle / pi.
+        element = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        fraction = eclipse_fraction(KeplerPropagator(element), samples=720)
+        expected = math.asin(EARTH_RADIUS_KM / R_ORBIT) / math.pi
+        assert fraction == pytest.approx(expected, abs=0.01)
+
+    def test_higher_orbit_less_eclipse(self):
+        low = OrbitalElements.circular(400.0, inclination_rad=0.0)
+        high = OrbitalElements.circular(1400.0, inclination_rad=0.0)
+        assert (eclipse_fraction(KeplerPropagator(high))
+                < eclipse_fraction(KeplerPropagator(low)))
+
+    def test_dawn_dusk_orbit_nearly_eclipse_free(self):
+        # Polar orbit whose plane contains the terminator (RAAN 90 deg at
+        # equinox): the orbit normal points at the sun.
+        element = OrbitalElements.circular(
+            780.0, inclination_rad=math.pi / 2.0,
+            raan_rad=math.pi / 2.0,
+        )
+        fraction = eclipse_fraction(KeplerPropagator(element), samples=720)
+        assert fraction < 0.05
+
+    def test_sample_validation(self):
+        element = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        with pytest.raises(ValueError):
+            eclipse_fraction(KeplerPropagator(element), samples=1)
+
+    def test_fraction_bounded(self):
+        element = OrbitalElements.circular(780.0, inclination_rad=1.0)
+        fraction = eclipse_fraction(KeplerPropagator(element))
+        assert 0.0 <= fraction <= 0.5
+
+
+class TestGenerationAndWindows:
+    def test_generation_scales_with_lit_fraction(self):
+        element = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        propagator = KeplerPropagator(element)
+        fraction = eclipse_fraction(propagator)
+        average = orbit_average_generation_w(100.0, propagator)
+        assert average == pytest.approx(100.0 * (1.0 - fraction))
+
+    def test_generation_validation(self):
+        element = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        with pytest.raises(ValueError):
+            orbit_average_generation_w(-1.0, KeplerPropagator(element))
+
+    def test_windows_cover_eclipse_fraction(self):
+        element = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        propagator = KeplerPropagator(element)
+        period = propagator.period_s
+        windows = eclipse_windows(propagator, 0.0, period, step_s=10.0)
+        assert len(windows) >= 1
+        dark_time = sum(end - start for start, end in windows)
+        fraction = eclipse_fraction(propagator, samples=720)
+        assert dark_time / period == pytest.approx(fraction, abs=0.05)
+
+    def test_windows_validation(self):
+        element = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        with pytest.raises(ValueError):
+            eclipse_windows(KeplerPropagator(element), 10.0, 10.0)

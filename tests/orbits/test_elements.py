@@ -1,0 +1,85 @@
+"""Tests for classical orbital elements."""
+
+import math
+
+import pytest
+
+from repro.orbits.constants import EARTH_RADIUS_KM
+from repro.orbits.elements import OrbitalElements
+
+
+class TestConstruction:
+    def test_circular_factory_sets_semi_major_axis(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.5)
+        assert el.semi_major_axis_km == pytest.approx(EARTH_RADIUS_KM + 780.0)
+        assert el.eccentricity == 0.0
+
+    def test_circular_rejects_nonpositive_altitude(self):
+        with pytest.raises(ValueError, match="altitude"):
+            OrbitalElements.circular(0.0, inclination_rad=0.0)
+        with pytest.raises(ValueError, match="altitude"):
+            OrbitalElements.circular(-100.0, inclination_rad=0.0)
+
+    def test_rejects_nonpositive_semi_major_axis(self):
+        with pytest.raises(ValueError, match="semi-major"):
+            OrbitalElements(semi_major_axis_km=-1.0)
+
+    def test_rejects_eccentricity_out_of_range(self):
+        with pytest.raises(ValueError, match="eccentricity"):
+            OrbitalElements(semi_major_axis_km=7000.0, eccentricity=1.0)
+        with pytest.raises(ValueError, match="eccentricity"):
+            OrbitalElements(semi_major_axis_km=7000.0, eccentricity=-0.1)
+
+    def test_circular_wraps_angles(self):
+        el = OrbitalElements.circular(
+            780.0, inclination_rad=1.0,
+            raan_rad=3.0 * math.pi, mean_anomaly_rad=-math.pi,
+        )
+        assert 0.0 <= el.raan_rad < 2.0 * math.pi
+        assert 0.0 <= el.mean_anomaly_rad < 2.0 * math.pi
+
+
+class TestDerivedQuantities:
+    def test_altitude_round_trips(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        assert el.altitude_km == pytest.approx(780.0)
+
+    def test_iridium_period_is_about_100_minutes(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.5)
+        assert el.period_s == pytest.approx(6027.0, rel=0.01)
+
+    def test_higher_orbit_has_longer_period(self):
+        low = OrbitalElements.circular(400.0, inclination_rad=0.0)
+        high = OrbitalElements.circular(1200.0, inclination_rad=0.0)
+        assert high.period_s > low.period_s
+
+    def test_perigee_apogee_for_eccentric_orbit(self):
+        el = OrbitalElements(
+            semi_major_axis_km=EARTH_RADIUS_KM + 1000.0, eccentricity=0.1
+        )
+        assert el.perigee_altitude_km < 1000.0 < el.apogee_altitude_km
+
+    def test_mean_motion_matches_period(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=0.2)
+        assert el.mean_motion_rad_s * el.period_s == pytest.approx(
+            2.0 * math.pi
+        )
+
+
+class TestCopies:
+    def test_with_mean_anomaly_replaces_only_anomaly(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0, raan_rad=0.5)
+        moved = el.with_mean_anomaly(2.0)
+        assert moved.mean_anomaly_rad == pytest.approx(2.0)
+        assert moved.raan_rad == el.raan_rad
+        assert moved.semi_major_axis_km == el.semi_major_axis_km
+
+    def test_with_raan_wraps(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0)
+        moved = el.with_raan(7.0)
+        assert moved.raan_rad == pytest.approx(7.0 - 2.0 * math.pi)
+
+    def test_elements_are_frozen(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0)
+        with pytest.raises(Exception):
+            el.eccentricity = 0.5

@@ -1,0 +1,141 @@
+"""Tests for Kepler propagation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.constants import EARTH_MU_KM3_S2, EARTH_RADIUS_KM
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.kepler import (
+    KeplerPropagator,
+    mean_motion,
+    orbital_period,
+    solve_kepler,
+    true_anomaly_from_eccentric,
+)
+
+
+class TestKeplerEquation:
+    def test_circular_orbit_identity(self):
+        # For e = 0, E = M exactly.
+        for m in (0.0, 0.5, math.pi, 5.0):
+            assert solve_kepler(m, 0.0) == pytest.approx(m % (2 * math.pi))
+
+    def test_solution_satisfies_equation(self):
+        for e in (0.01, 0.3, 0.7, 0.95):
+            for m in (0.1, 1.0, 2.5, 4.0, 6.0):
+                big_e = solve_kepler(m, e)
+                assert big_e - e * math.sin(big_e) == pytest.approx(
+                    m % (2 * math.pi), abs=1e-9
+                )
+
+    def test_rejects_hyperbolic_eccentricity(self):
+        with pytest.raises(ValueError, match="eccentricity"):
+            solve_kepler(1.0, 1.0)
+
+    def test_true_anomaly_equals_eccentric_for_circular(self):
+        assert true_anomaly_from_eccentric(1.2, 0.0) == pytest.approx(1.2)
+
+
+class TestMeanMotion:
+    def test_mean_motion_formula(self):
+        a = EARTH_RADIUS_KM + 780.0
+        assert mean_motion(a) == pytest.approx(math.sqrt(EARTH_MU_KM3_S2 / a**3))
+
+    def test_rejects_nonpositive_axis(self):
+        with pytest.raises(ValueError):
+            mean_motion(0.0)
+
+    def test_period_times_motion_is_two_pi(self):
+        a = 7000.0
+        assert mean_motion(a) * orbital_period(a) == pytest.approx(2 * math.pi)
+
+
+class TestPropagation:
+    def test_radius_constant_for_circular_orbit(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.2)
+        prop = KeplerPropagator(el)
+        radii = [
+            np.linalg.norm(prop.position_at(t))
+            for t in np.linspace(0, el.period_s, 17)
+        ]
+        assert max(radii) - min(radii) < 1e-6
+        assert radii[0] == pytest.approx(EARTH_RADIUS_KM + 780.0)
+
+    def test_position_repeats_after_one_period(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0,
+                                      mean_anomaly_rad=0.7)
+        prop = KeplerPropagator(el)
+        p0 = prop.position_at(0.0)
+        p1 = prop.position_at(el.period_s)
+        assert np.allclose(p0, p1, atol=1e-6)
+
+    def test_velocity_magnitude_is_circular_speed(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=0.5)
+        _, vel = KeplerPropagator(el).state_at(100.0)
+        expected = math.sqrt(EARTH_MU_KM3_S2 / el.semi_major_axis_km)
+        assert np.linalg.norm(vel) == pytest.approx(expected, rel=1e-9)
+
+    def test_velocity_perpendicular_to_position_for_circular(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=0.9)
+        pos, vel = KeplerPropagator(el).state_at(42.0)
+        assert abs(float(pos @ vel)) < 1e-6
+
+    def test_equatorial_orbit_stays_in_equator(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=0.0)
+        prop = KeplerPropagator(el)
+        for t in np.linspace(0, el.period_s, 9):
+            assert abs(prop.position_at(float(t))[2]) < 1e-9
+
+    def test_polar_orbit_reaches_high_z(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=math.pi / 2)
+        prop = KeplerPropagator(el)
+        z_max = max(
+            abs(prop.position_at(float(t))[2])
+            for t in np.linspace(0, el.period_s, 33)
+        )
+        assert z_max == pytest.approx(EARTH_RADIUS_KM + 780.0, rel=1e-3)
+
+    def test_epoch_offset_shifts_phase(self):
+        el0 = OrbitalElements.circular(780.0, inclination_rad=1.0, epoch_s=0.0)
+        el1 = OrbitalElements.circular(780.0, inclination_rad=1.0, epoch_s=100.0)
+        p0 = KeplerPropagator(el0).position_at(0.0)
+        p1 = KeplerPropagator(el1).position_at(100.0)
+        assert np.allclose(p0, p1)
+
+    def test_positions_at_returns_matrix(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0)
+        out = KeplerPropagator(el).positions_at(np.array([0.0, 10.0, 20.0]))
+        assert out.shape == (3, 3)
+
+
+class TestJ2:
+    def test_j2_polar_orbit_has_no_raan_drift(self):
+        # cos(90 deg) = 0 -> no nodal regression for a perfectly polar orbit.
+        el = OrbitalElements.circular(780.0, inclination_rad=math.pi / 2)
+        prop = KeplerPropagator(el, include_j2=True)
+        assert prop._raan_dot == pytest.approx(0.0, abs=1e-15)
+
+    def test_j2_prograde_orbit_regresses_westward(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=math.radians(53.0))
+        prop = KeplerPropagator(el, include_j2=True)
+        assert prop._raan_dot < 0.0
+
+    def test_j2_retrograde_orbit_precesses_eastward(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=math.radians(98.0))
+        prop = KeplerPropagator(el, include_j2=True)
+        assert prop._raan_dot > 0.0
+
+    def test_sun_synchronous_rate_is_about_one_degree_per_day(self):
+        # A ~98 deg orbit at ~780 km precesses close to 0.9856 deg/day.
+        el = OrbitalElements.circular(780.0, inclination_rad=math.radians(98.5))
+        prop = KeplerPropagator(el, include_j2=True)
+        deg_per_day = math.degrees(prop._raan_dot) * 86400.0
+        assert 0.5 < deg_per_day < 1.5
+
+    def test_j2_preserves_orbit_radius(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0)
+        prop = KeplerPropagator(el, include_j2=True)
+        r = np.linalg.norm(prop.position_at(5000.0))
+        assert r == pytest.approx(el.semi_major_axis_km, rel=1e-9)

@@ -1,0 +1,123 @@
+"""Tests for the TLE codec."""
+
+import math
+
+import pytest
+
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.tle import (
+    TwoLineElement,
+    catalog_from_constellation,
+    elements_from_tle,
+    emit_tle,
+    parse_tle,
+    tle_from_elements,
+)
+
+#: The canonical ISS TLE example (checksums valid).
+ISS_TLE = [
+    "ISS (ZARYA)",
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927",
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537",
+]
+
+
+class TestParse:
+    def test_parses_iss_record(self):
+        tle = parse_tle(ISS_TLE)
+        assert tle.name == "ISS (ZARYA)"
+        assert tle.catalog_number == 25544
+        assert tle.inclination_deg == pytest.approx(51.6416)
+        assert tle.eccentricity == pytest.approx(0.0006703)
+        assert tle.mean_motion_rev_day == pytest.approx(15.72125391)
+
+    def test_parses_without_title_line(self):
+        tle = parse_tle(ISS_TLE[1:])
+        assert tle.name == "UNKNOWN"
+        assert tle.catalog_number == 25544
+
+    def test_rejects_wrong_line_count(self):
+        with pytest.raises(ValueError, match="expected 2 or 3"):
+            parse_tle(["only one line"])
+
+    def test_rejects_bad_prefix(self):
+        bad = ["X" + ISS_TLE[1][1:], ISS_TLE[2]]
+        with pytest.raises(ValueError, match="must start"):
+            parse_tle(bad)
+
+    def test_rejects_checksum_mismatch(self):
+        corrupted = ISS_TLE[1][:20] + "9" + ISS_TLE[1][21:]
+        with pytest.raises(ValueError, match="checksum"):
+            parse_tle([corrupted, ISS_TLE[2]])
+
+    def test_rejects_short_line(self):
+        with pytest.raises(ValueError, match="too short"):
+            parse_tle(["1 25544U", ISS_TLE[2]])
+
+    def test_iss_elements_are_leo(self):
+        elements = parse_tle(ISS_TLE).to_elements()
+        assert 300.0 < elements.altitude_km < 450.0
+        assert math.degrees(elements.inclination_rad) == pytest.approx(51.64, abs=0.01)
+
+
+class TestEmit:
+    def test_emitted_record_parses_back(self):
+        original = parse_tle(ISS_TLE)
+        lines = emit_tle(original)
+        recovered = parse_tle(lines)
+        assert recovered.inclination_deg == pytest.approx(
+            original.inclination_deg, abs=1e-3
+        )
+        assert recovered.mean_motion_rev_day == pytest.approx(
+            original.mean_motion_rev_day, abs=1e-6
+        )
+        assert recovered.eccentricity == pytest.approx(
+            original.eccentricity, abs=1e-6
+        )
+
+    def test_emitted_lines_have_valid_length(self):
+        lines = emit_tle(parse_tle(ISS_TLE))
+        assert len(lines[1]) == 69
+        assert len(lines[2]) == 69
+
+
+class TestElementsRoundTrip:
+    def test_orbital_geometry_preserved(self):
+        elements = OrbitalElements.circular(
+            780.0, inclination_rad=math.radians(86.4),
+            raan_rad=1.0, mean_anomaly_rad=2.0,
+        )
+        lines = tle_from_elements(elements, name="TEST")
+        recovered = elements_from_tle(lines)
+        assert recovered.semi_major_axis_km == pytest.approx(
+            elements.semi_major_axis_km, abs=0.01
+        )
+        assert recovered.inclination_rad == pytest.approx(
+            elements.inclination_rad, abs=1e-5
+        )
+        assert recovered.raan_rad == pytest.approx(elements.raan_rad, abs=1e-4)
+        assert recovered.mean_anomaly_rad == pytest.approx(
+            elements.mean_anomaly_rad, abs=1e-4
+        )
+
+    def test_eccentric_orbit_round_trip(self):
+        elements = OrbitalElements(
+            semi_major_axis_km=7500.0, eccentricity=0.02,
+            inclination_rad=1.0, arg_perigee_rad=0.5,
+        )
+        recovered = elements_from_tle(tle_from_elements(elements))
+        assert recovered.eccentricity == pytest.approx(0.02, abs=1e-6)
+        assert recovered.arg_perigee_rad == pytest.approx(0.5, abs=1e-4)
+
+
+class TestCatalog:
+    def test_catalog_covers_whole_fleet(self, iridium):
+        records = catalog_from_constellation(iridium)
+        assert len(records) == len(iridium)
+        # Every record must parse with a distinct catalog number.
+        numbers = {parse_tle(r).catalog_number for r in records}
+        assert len(numbers) == len(iridium)
+
+    def test_catalog_names_carry_prefix(self, iridium):
+        records = catalog_from_constellation(iridium, name_prefix="ACME")
+        assert records[0][0].startswith("ACME-")

@@ -1,0 +1,86 @@
+"""Property-based tests for the economics layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.ledger import TrafficLedger
+from repro.economics.settlement import RateCard, SettlementEngine
+
+isp_names = st.sampled_from(["isp-a", "isp-b", "isp-c", "isp-d"])
+
+transfer = st.tuples(
+    isp_names,                                        # source
+    st.lists(isp_names, min_size=1, max_size=3),      # carrier path
+    st.floats(min_value=0.01, max_value=100.0),       # gigabytes
+)
+
+
+class TestLedgerProperties:
+    @given(transfers=st.lists(transfer, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_honest_ledger_never_mismatches(self, transfers):
+        ledger = TrafficLedger()
+        for index, (source, path, gb) in enumerate(transfers):
+            ledger.file_path_transfer(f"t{index}", source, path, gb,
+                                      float(index))
+        assert ledger.cross_verify() == []
+
+    @given(transfers=st.lists(transfer, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_matrix_totals_bounded_by_filed_volume(self, transfers):
+        ledger = TrafficLedger()
+        total_filed = 0.0
+        for index, (source, path, gb) in enumerate(transfers):
+            ledger.file_path_transfer(f"t{index}", source, path, gb,
+                                      float(index))
+            distinct_foreign = {c for c in path if c != source}
+            total_filed += gb * len(distinct_foreign)
+        matrix_total = sum(ledger.carried_matrix().values())
+        assert matrix_total == pytest.approx(total_filed, rel=1e-9)
+
+    @given(transfers=st.lists(transfer, min_size=1, max_size=20),
+           inflation=st.floats(min_value=1.01, max_value=5.0))
+    @settings(max_examples=40)
+    def test_any_overreport_is_caught(self, transfers, inflation):
+        ledger = TrafficLedger()
+        fraud_count = 0
+        for index, (source, path, gb) in enumerate(transfers):
+            misreport = None
+            carrier = path[0]
+            if carrier != source and index % 3 == 0:
+                misreport = {carrier: gb * inflation}
+                fraud_count += 1
+            ledger.file_path_transfer(f"t{index}", source, path, gb,
+                                      float(index), misreport)
+        assert len(ledger.cross_verify()) == fraud_count
+
+
+class TestSettlementProperties:
+    @given(transfers=st.lists(transfer, min_size=1, max_size=30),
+           rf_rate=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_money_conserved(self, transfers, rf_rate):
+        ledger = TrafficLedger()
+        for index, (source, path, gb) in enumerate(transfers):
+            ledger.file_path_transfer(f"t{index}", source, path, gb,
+                                      float(index))
+        engine = SettlementEngine(rate_cards={
+            name: RateCard(carrier=name, rf_rate_per_gb=rf_rate)
+            for name in ("isp-a", "isp-b", "isp-c", "isp-d")
+        })
+        invoices = engine.invoices_from_ledger(ledger)
+        positions = engine.net_positions(invoices)
+        assert sum(positions.values()) == pytest.approx(0.0, abs=1e-9)
+
+    @given(transfers=st.lists(transfer, min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_invoices_never_negative(self, transfers):
+        ledger = TrafficLedger()
+        for index, (source, path, gb) in enumerate(transfers):
+            ledger.file_path_transfer(f"t{index}", source, path, gb,
+                                      float(index))
+        for invoice in SettlementEngine().invoices_from_ledger(ledger):
+            assert invoice.amount_usd >= 0.0
+            assert invoice.gigabytes >= 0.0
+            assert invoice.carrier != invoice.customer

@@ -1,0 +1,97 @@
+"""Property-based tests for flow simulation and time-expanded routing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.flowsim import (
+    ActiveFlow,
+    FlowSimulator,
+    max_min_fair_rates,
+)
+from repro.simulation.traffic import FlowSpec
+
+
+def line_flow(flow_id, size_bytes, start_s=0.0):
+    spec = FlowSpec(flow_id, "u", start_s, size_bytes)
+    return ActiveFlow(spec=spec, path=["u", "s", "g"],
+                      edges=[("s", "u"), ("g", "s")],
+                      remaining_bytes=size_bytes, admitted_at_s=start_s)
+
+
+class TestMaxMinFairProperties:
+    @given(count=st.integers(min_value=1, max_value=12),
+           capacity=st.floats(min_value=1e5, max_value=1e9))
+    def test_identical_flows_get_equal_rates(self, count, capacity):
+        flows = [line_flow(f"f{i}", 1e6) for i in range(count)]
+        max_min_fair_rates(flows, {("s", "u"): capacity,
+                                   ("g", "s"): capacity})
+        rates = [f.rate_bps for f in flows]
+        assert max(rates) - min(rates) < 1e-6 * capacity
+        assert sum(rates) <= capacity * (1 + 1e-9)
+
+    @given(counts=st.lists(st.integers(min_value=1, max_value=6),
+                           min_size=2, max_size=4),
+           capacity=st.floats(min_value=1e6, max_value=1e8))
+    @settings(max_examples=40)
+    def test_no_link_oversubscribed(self, counts, capacity):
+        # Flows over a shared chain of links of varying lengths.
+        nodes = [f"n{i}" for i in range(len(counts) + 1)]
+        capacities = {}
+        for u, v in zip(nodes[:-1], nodes[1:]):
+            key = (u, v) if u <= v else (v, u)
+            capacities[key] = capacity
+        flows = []
+        for index, span in enumerate(counts):
+            path = nodes[: span + 1]
+            edges = [
+                (u, v) if u <= v else (v, u)
+                for u, v in zip(path[:-1], path[1:])
+            ]
+            spec = FlowSpec(f"f{index}", path[0], 0.0, 1e6)
+            flows.append(ActiveFlow(spec=spec, path=path, edges=edges,
+                                    remaining_bytes=1e6, admitted_at_s=0.0))
+        max_min_fair_rates(flows, capacities)
+        for key, cap in capacities.items():
+            used = sum(f.rate_bps for f in flows if key in f.edges)
+            assert used <= cap * (1 + 1e-9)
+        assert all(f.rate_bps > 0.0 for f in flows)
+
+
+class TestFlowSimulatorProperties:
+    @given(sizes=st.lists(st.floats(min_value=1e4, max_value=5e6),
+                          min_size=1, max_size=8),
+           starts=st.lists(st.floats(min_value=0.0, max_value=5.0),
+                           min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_all_admitted_flows_complete(self, sizes, starts):
+        count = min(len(sizes), len(starts))
+        graph = nx.Graph()
+        graph.add_node("u", kind="user")
+        graph.add_node("g", kind="ground_station")
+        graph.add_edge("u", "g", delay_s=0.01, capacity_bps=10e6)
+        flows = [
+            FlowSpec(f"f{i}", "u", starts[i], sizes[i]) for i in range(count)
+        ]
+        sim = FlowSimulator(graph, lambda g, f, a: ["u", "g"])
+        result = sim.run(flows)
+        assert len(result.completed) == count
+        # Every flow finishes no earlier than its serial transfer time.
+        for record in result.completed:
+            serial = record.spec.size_bytes * 8.0 / 10e6
+            assert record.completion_time_s >= serial * (1 - 1e-9)
+
+    @given(sizes=st.lists(st.floats(min_value=1e5, max_value=5e6),
+                          min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_at_least_total_work(self, sizes):
+        graph = nx.Graph()
+        graph.add_edge("u", "g", capacity_bps=8e6, delay_s=0.0)
+        graph.add_node("u", kind="user")
+        graph.add_node("g", kind="ground_station")
+        flows = [FlowSpec(f"f{i}", "u", 0.0, s) for i, s in enumerate(sizes)]
+        result = FlowSimulator(graph, lambda g, f, a: ["u", "g"]).run(flows)
+        makespan = max(r.finish_s for r in result.completed)
+        total_work_s = sum(sizes) * 8.0 / 8e6
+        assert makespan == pytest.approx(total_work_s, rel=1e-6)

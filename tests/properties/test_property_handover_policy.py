@@ -1,0 +1,104 @@
+"""Property-based tests for handover timelines and policy regions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.handover import HandoverScheme, HandoverSimulator
+from repro.core.policy import PolicyRegistry, Region
+from repro.orbits.contact import ContactWindow
+from repro.orbits.coordinates import GeodeticPoint
+
+
+def windows_from(specs):
+    """Build non-degenerate contact windows from (start, duration) pairs."""
+    return [
+        ContactWindow(i, start, start + duration, 1.0)
+        for i, (start, duration) in enumerate(specs)
+    ]
+
+
+window_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3000.0),
+        st.floats(min_value=30.0, max_value=900.0),
+    ),
+    min_size=0, max_size=12,
+)
+
+
+class TestHandoverProperties:
+    @given(specs=window_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_timeline_invariants(self, specs):
+        simulator = HandoverSimulator()
+        windows = windows_from(specs)
+        for scheme in HandoverScheme:
+            timeline = simulator.run(windows, scheme, 0.0, 3600.0)
+            assert 0.0 <= timeline.availability <= 1.0
+            assert timeline.total_interruption_s >= 0.0
+            assert timeline.coverage_gap_s <= timeline.duration_s + 1e-9
+            assert timeline.handover_count == max(0, len(timeline.events) - 1)
+            # Events are time-ordered.
+            times = [event.time_s for event in timeline.events]
+            assert times == sorted(times)
+
+    @given(specs=window_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_predictive_never_worse_than_reauth(self, specs):
+        simulator = HandoverSimulator()
+        windows = windows_from(specs)
+        predictive = simulator.run(windows, HandoverScheme.PREDICTIVE,
+                                   0.0, 3600.0)
+        reauth = simulator.run(windows, HandoverScheme.REAUTHENTICATE,
+                               0.0, 3600.0)
+        assert (predictive.total_interruption_s
+                <= reauth.total_interruption_s + 1e-9)
+        assert predictive.availability >= reauth.availability - 1e-9
+        # Same schedule, same gaps and handover count under both schemes.
+        assert predictive.coverage_gap_s == pytest.approx(
+            reauth.coverage_gap_s
+        )
+        assert predictive.handover_count == reauth.handover_count
+
+
+class TestPolicyProperties:
+    @given(lat=st.floats(min_value=-89.0, max_value=89.0),
+           lon=st.floats(min_value=-179.9, max_value=179.9))
+    @settings(max_examples=100)
+    def test_region_assignment_deterministic_and_exclusive(self, lat, lon):
+        registry = PolicyRegistry()
+        point = GeodeticPoint(lat, lon)
+        first = registry.region_of(point)
+        second = registry.region_of(point)
+        assert first is second or (
+            first is not None and second is not None
+            and first.name == second.name
+        )
+        if first is not None:
+            assert first.contains(point)
+
+    @given(lat=st.floats(min_value=-89.0, max_value=89.0),
+           lon=st.floats(min_value=-179.9, max_value=179.9))
+    @settings(max_examples=60)
+    def test_compliant_gateways_subset_of_all(self, lat, lon):
+        from repro.ground.station import default_station_network
+        registry = PolicyRegistry()
+        stations = default_station_network()
+        allowed = registry.compliant_gateways(GeodeticPoint(lat, lon),
+                                              stations)
+        assert allowed <= {s.station_id for s in stations}
+
+    @given(min_lat=st.floats(min_value=-80.0, max_value=70.0),
+           span=st.floats(min_value=1.0, max_value=20.0),
+           lon=st.floats(min_value=-170.0, max_value=170.0))
+    @settings(max_examples=60)
+    def test_box_membership_consistent(self, min_lat, span, lon):
+        region = Region("box", min_lat, min_lat + span, lon - 5.0, lon + 5.0)
+        inside = GeodeticPoint(min_lat + span / 2.0, lon)
+        outside = GeodeticPoint(
+            max(-90.0, min(90.0, min_lat - 1.0)), lon
+        )
+        assert region.contains(inside)
+        if outside.latitude_deg < min_lat:
+            assert not region.contains(outside)

@@ -1,0 +1,101 @@
+"""Property-based tests for the OFDMA scheduler and pairing protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interop import medium_spacecraft, small_spacecraft
+from repro.core.pairing import PairingProtocol
+from repro.mac.ofdm import OfdmConfig, OfdmaScheduler, UserDemand
+from repro.orbits.elements import OrbitalElements
+
+user_strategy = st.tuples(
+    st.floats(min_value=-20.0, max_value=30.0),   # snr_db
+    st.floats(min_value=0.0, max_value=500e6),    # demand_bps
+)
+
+
+class TestOfdmaProperties:
+    @given(users=st.lists(user_strategy, min_size=1, max_size=20),
+           policy=st.sampled_from(["proportional_fair", "round_robin"]))
+    @settings(max_examples=50, deadline=None)
+    def test_block_conservation(self, users, policy):
+        config = OfdmConfig()
+        scheduler = OfdmaScheduler(config, policy=policy)
+        demands = [
+            UserDemand(f"u{i}", snr, demand)
+            for i, (snr, demand) in enumerate(users)
+        ]
+        grants = scheduler.schedule(demands)
+        assert sum(g.blocks for g in grants) <= config.total_blocks
+        for grant in grants:
+            assert grant.blocks >= 0
+            assert grant.rate_bps >= 0.0
+
+    @given(users=st.lists(user_strategy, min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_demand_or_dead_link_gets_nothing(self, users):
+        scheduler = OfdmaScheduler(OfdmConfig())
+        demands = [
+            UserDemand(f"u{i}", snr, demand)
+            for i, (snr, demand) in enumerate(users)
+        ]
+        grants = {g.user_id: g for g in scheduler.schedule(demands)}
+        for demand in demands:
+            grant = grants[demand.user_id]
+            if demand.demand_bps == 0.0 or demand.snr_db < -5.0:
+                assert grant.blocks == 0 or grant.rate_bps == 0.0
+
+    @given(users=st.lists(user_strategy, min_size=2, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_grant_never_wildly_exceeds_demand(self, users):
+        # The scheduler grants whole blocks, so overshoot is bounded by
+        # one block's rate.
+        config = OfdmConfig()
+        scheduler = OfdmaScheduler(config)
+        demands = [
+            UserDemand(f"u{i}", snr, demand)
+            for i, (snr, demand) in enumerate(users)
+        ]
+        grants = {g.user_id: g for g in scheduler.schedule(demands)}
+        for demand in demands:
+            grant = grants[demand.user_id]
+            if grant.blocks > 0:
+                per_block = grant.rate_bps / grant.blocks
+                assert grant.rate_bps <= demand.demand_bps + per_block
+
+
+class TestPairingProperties:
+    @given(distance=st.floats(min_value=100.0, max_value=6000.0),
+           bearing=st.floats(min_value=0.0, max_value=359.9),
+           hold=st.floats(min_value=0.0, max_value=3600.0),
+           a_optical=st.booleans(), b_optical=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_outcome_invariants(self, distance, bearing, hold, a_optical,
+                                b_optical):
+        factory_a = medium_spacecraft if a_optical else small_spacecraft
+        factory_b = medium_spacecraft if b_optical else small_spacecraft
+        spec_a = factory_a("a", "op-a", OrbitalElements.circular(
+            780.0, inclination_rad=0.9))
+        spec_b = factory_b("b", "op-b", OrbitalElements.circular(
+            780.0, inclination_rad=0.9, mean_anomaly_rad=0.4))
+        outcome = PairingProtocol().pair(
+            spec_a, spec_b, distance,
+            bearing_a_to_b_deg=bearing, expected_hold_s=hold,
+        )
+        # Timing components are nonnegative and total is their sum.
+        assert outcome.rf_handshake_s > 0.0
+        assert outcome.slew_s >= 0.0
+        assert outcome.pat_s >= 0.0
+        assert outcome.total_time_s == pytest.approx(
+            outcome.rf_handshake_s + outcome.slew_s + outcome.pat_s
+        )
+        # Optical upgrade requires both sides optical-capable.
+        if outcome.upgraded_to_optical:
+            assert a_optical and b_optical
+            assert hold >= PairingProtocol().min_optical_hold_s
+            assert outcome.link is not None
+            assert not outcome.link.technology.is_rf
+        # RF-capable pairs at sane ranges always link somehow.
+        if distance <= 4000.0:
+            assert outcome.succeeded

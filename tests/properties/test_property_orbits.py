@@ -1,0 +1,130 @@
+"""Property-based tests for the orbital substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orbits.constants import EARTH_RADIUS_KM
+from repro.orbits.coordinates import (
+    GeodeticPoint,
+    ecef_to_eci,
+    ecef_to_geodetic,
+    eci_to_ecef,
+    geodetic_to_ecef,
+)
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.kepler import KeplerPropagator, solve_kepler
+from repro.orbits.tle import elements_from_tle, tle_from_elements
+from repro.orbits.visibility import (
+    footprint_area_km2,
+    footprint_half_angle,
+    has_line_of_sight,
+)
+
+altitudes = st.floats(min_value=300.0, max_value=2000.0)
+angles = st.floats(min_value=0.0, max_value=2 * math.pi - 1e-9)
+inclinations = st.floats(min_value=0.0, max_value=math.pi)
+times = st.floats(min_value=0.0, max_value=86400.0)
+
+
+class TestKeplerProperties:
+    @given(m=st.floats(min_value=0.0, max_value=2 * math.pi),
+           e=st.floats(min_value=0.0, max_value=0.95))
+    def test_kepler_solution_satisfies_equation(self, m, e):
+        big_e = solve_kepler(m, e)
+        # The solver wraps M into [0, 2pi); compare in the same revolution.
+        residual = (big_e - e * math.sin(big_e) - m) % (2 * math.pi)
+        assert min(residual, 2 * math.pi - residual) < 1e-8
+
+    @given(alt=altitudes, incl=inclinations, raan=angles, anomaly=angles,
+           t=times)
+    @settings(max_examples=50)
+    def test_circular_orbit_radius_invariant(self, alt, incl, raan, anomaly, t):
+        el = OrbitalElements.circular(alt, incl, raan, anomaly)
+        pos = KeplerPropagator(el).position_at(t)
+        assert np.linalg.norm(pos) == pytest.approx(
+            EARTH_RADIUS_KM + alt, rel=1e-9
+        )
+
+    @given(alt=altitudes, incl=inclinations, t=times)
+    @settings(max_examples=30)
+    def test_z_bounded_by_inclination(self, alt, incl, t):
+        el = OrbitalElements.circular(alt, incl)
+        pos = KeplerPropagator(el).position_at(t)
+        max_z = (EARTH_RADIUS_KM + alt) * abs(math.sin(incl)) + 1e-6
+        assert abs(pos[2]) <= max_z
+
+    @given(alt=altitudes, incl=inclinations, raan=angles, anomaly=angles)
+    @settings(max_examples=30)
+    def test_period_brings_satellite_back(self, alt, incl, raan, anomaly):
+        el = OrbitalElements.circular(alt, incl, raan, anomaly)
+        prop = KeplerPropagator(el)
+        assert np.allclose(
+            prop.position_at(0.0), prop.position_at(el.period_s), atol=1e-5
+        )
+
+
+class TestCoordinateProperties:
+    @given(lat=st.floats(min_value=-89.9, max_value=89.9),
+           lon=st.floats(min_value=-179.9, max_value=179.9),
+           alt=st.floats(min_value=0.0, max_value=2000.0))
+    @settings(max_examples=60)
+    def test_geodetic_round_trip(self, lat, lon, alt):
+        point = GeodeticPoint(lat, lon, alt)
+        recovered = ecef_to_geodetic(geodetic_to_ecef(point))
+        assert recovered.latitude_deg == pytest.approx(lat, abs=1e-6)
+        assert recovered.longitude_deg == pytest.approx(lon, abs=1e-6)
+        assert recovered.altitude_km == pytest.approx(alt, abs=1e-5)
+
+    @given(x=st.floats(min_value=-9000, max_value=9000),
+           y=st.floats(min_value=-9000, max_value=9000),
+           z=st.floats(min_value=-9000, max_value=9000),
+           t=times)
+    @settings(max_examples=60)
+    def test_eci_ecef_round_trip_and_isometry(self, x, y, z, t):
+        vec = np.array([x, y, z])
+        rotated = eci_to_ecef(vec, t)
+        assert np.linalg.norm(rotated) == pytest.approx(
+            np.linalg.norm(vec), abs=1e-6
+        )
+        assert np.allclose(ecef_to_eci(rotated, t), vec, atol=1e-6)
+
+
+class TestVisibilityProperties:
+    @given(alt=altitudes,
+           mask=st.floats(min_value=0.0, max_value=45.0))
+    def test_footprint_shrinks_with_mask(self, alt, mask):
+        assert footprint_half_angle(alt, mask) <= footprint_half_angle(alt, 0.0)
+
+    @given(alt=altitudes, mask=st.floats(min_value=0.0, max_value=60.0))
+    def test_footprint_area_positive_and_bounded(self, alt, mask):
+        area = footprint_area_km2(alt, mask)
+        assert 0.0 < area < 2 * math.pi * EARTH_RADIUS_KM**2
+
+    @given(alt=altitudes, theta=st.floats(min_value=0.0, max_value=math.pi))
+    @settings(max_examples=60)
+    def test_los_symmetric(self, alt, theta):
+        r = EARTH_RADIUS_KM + alt
+        a = np.array([r, 0.0, 0.0])
+        b = r * np.array([math.cos(theta), math.sin(theta), 0.0])
+        assert has_line_of_sight(a, b) == has_line_of_sight(b, a)
+
+
+class TestTleProperties:
+    @given(alt=altitudes, incl=st.floats(min_value=0.01, max_value=math.pi - 0.01),
+           raan=st.floats(min_value=0.0, max_value=2 * math.pi - 0.01),
+           anomaly=st.floats(min_value=0.0, max_value=2 * math.pi - 0.01))
+    @settings(max_examples=40)
+    def test_round_trip_preserves_geometry(self, alt, incl, raan, anomaly):
+        el = OrbitalElements.circular(alt, incl, raan, anomaly)
+        recovered = elements_from_tle(tle_from_elements(el))
+        assert recovered.semi_major_axis_km == pytest.approx(
+            el.semi_major_axis_km, abs=0.05
+        )
+        assert recovered.inclination_rad == pytest.approx(
+            el.inclination_rad, abs=1e-4
+        )
+        assert recovered.raan_rad == pytest.approx(el.raan_rad, abs=1e-3)

@@ -1,0 +1,102 @@
+"""Tests for the on-demand routing baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.routing.distributed import OnDemandRouter
+
+
+@pytest.fixture
+def line_graph():
+    g = nx.Graph()
+    for i in range(4):
+        g.add_edge(f"n{i}", f"n{i+1}", delay_s=0.010, capacity_bps=10e6)
+    return g
+
+
+class TestDiscovery:
+    def test_finds_path(self, line_graph):
+        result = OnDemandRouter().route(line_graph, "n0", "n4")
+        assert result.metrics is not None
+        assert result.metrics.path == ["n0", "n1", "n2", "n3", "n4"]
+        assert not result.from_cache
+
+    def test_discovery_delay_includes_rrep(self, line_graph):
+        router = OnDemandRouter(per_hop_processing_s=0.002)
+        result = router.route(line_graph, "n0", "n4")
+        # RREQ: 4 hops of (10 ms + 2 ms); RREP: 40 ms + 4*2 ms.
+        assert result.discovery_delay_s == pytest.approx(0.096, abs=1e-9)
+
+    def test_control_messages_counted(self, line_graph):
+        result = OnDemandRouter().route(line_graph, "n0", "n4")
+        assert result.control_messages > 0
+
+    def test_unreachable(self, line_graph):
+        line_graph.add_node("island")
+        result = OnDemandRouter().route(line_graph, "n0", "island")
+        assert result.metrics is None
+
+    def test_unknown_node(self, line_graph):
+        result = OnDemandRouter().route(line_graph, "n0", "ghost")
+        assert result.metrics is None
+        assert result.control_messages == 0
+
+
+class TestCache:
+    def test_second_query_cached_and_free(self, line_graph):
+        router = OnDemandRouter()
+        router.route(line_graph, "n0", "n4")
+        second = router.route(line_graph, "n0", "n4")
+        assert second.from_cache
+        assert second.discovery_delay_s == 0.0
+        assert second.control_messages == 0
+
+    def test_broken_link_forces_rediscovery(self, line_graph):
+        router = OnDemandRouter()
+        router.route(line_graph, "n0", "n4")
+        line_graph.remove_edge("n2", "n3")
+        line_graph.add_edge("n2", "alt", delay_s=0.01, capacity_bps=1e6)
+        line_graph.add_edge("alt", "n4", delay_s=0.01, capacity_bps=1e6)
+        result = router.route(line_graph, "n0", "n4")
+        assert not result.from_cache
+        assert "alt" in result.metrics.path
+
+    def test_invalidate(self, line_graph):
+        router = OnDemandRouter()
+        router.route(line_graph, "n0", "n4")
+        router.invalidate("n0", "n4")
+        assert router.cache_size == 0
+        result = router.route(line_graph, "n0", "n4")
+        assert not result.from_cache
+
+    def test_failed_discovery_clears_stale_cache(self, line_graph):
+        router = OnDemandRouter()
+        router.route(line_graph, "n0", "n4")
+        line_graph.remove_edge("n3", "n4")
+        result = router.route(line_graph, "n0", "n4")
+        assert result.metrics is None
+        assert router.cache_size == 0
+
+
+class TestFloodShape:
+    def test_flood_prefers_fast_path(self):
+        g = nx.Graph()
+        g.add_edge("s", "m1", delay_s=0.002, capacity_bps=1e6)
+        g.add_edge("m1", "t", delay_s=0.002, capacity_bps=1e6)
+        g.add_edge("s", "m2", delay_s=0.050, capacity_bps=1e9)
+        g.add_edge("m2", "t", delay_s=0.050, capacity_bps=1e9)
+        result = OnDemandRouter().route(g, "s", "t")
+        # The RREQ through m1 arrives first, so that path is discovered.
+        assert result.metrics.path == ["s", "m1", "t"]
+
+    def test_messages_scale_with_degree(self):
+        star = nx.star_graph(10)
+        g = nx.relabel_nodes(star, {i: f"n{i}" for i in star.nodes})
+        for u, v in g.edges:
+            g[u][v]["delay_s"] = 0.01
+        dense = OnDemandRouter().route(g, "n1", "n2")
+        line = nx.Graph()
+        line.add_edge("n1", "n0", delay_s=0.01)
+        line.add_edge("n0", "n2", delay_s=0.01)
+        sparse = OnDemandRouter().route(line, "n1", "n2")
+        assert dense.control_messages > sparse.control_messages

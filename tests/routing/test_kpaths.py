@@ -1,0 +1,53 @@
+"""Tests for k-shortest-path enumeration."""
+
+import networkx as nx
+import pytest
+
+from repro.routing.kpaths import k_shortest_paths
+from repro.routing.metrics import EdgeCostModel
+
+
+@pytest.fixture
+def diamond():
+    g = nx.Graph()
+    g.add_edge("s", "a", delay_s=0.01)
+    g.add_edge("a", "t", delay_s=0.01)
+    g.add_edge("s", "b", delay_s=0.02)
+    g.add_edge("b", "t", delay_s=0.02)
+    g.add_edge("s", "t", delay_s=0.10)
+    return g
+
+
+class TestKShortest:
+    def test_paths_ordered_by_cost(self, diamond):
+        paths = k_shortest_paths(diamond, "s", "t", 3)
+        assert paths[0] == ["s", "a", "t"]
+        assert paths[1] == ["s", "b", "t"]
+        assert paths[2] == ["s", "t"]
+
+    def test_k_limits_output(self, diamond):
+        assert len(k_shortest_paths(diamond, "s", "t", 2)) == 2
+
+    def test_fewer_paths_than_k(self, diamond):
+        assert len(k_shortest_paths(diamond, "s", "t", 10)) == 3
+
+    def test_unreachable_empty(self, diamond):
+        diamond.add_node("island")
+        assert k_shortest_paths(diamond, "s", "island", 3) == []
+
+    def test_unknown_node_empty(self, diamond):
+        assert k_shortest_paths(diamond, "s", "ghost", 3) == []
+
+    def test_rejects_bad_k(self, diamond):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond, "s", "t", 0)
+
+    def test_custom_cost_model_changes_order(self, diamond):
+        diamond["s"]["a"]["tariff_per_gb"] = 100.0
+        model = EdgeCostModel(tariff_weight=1.0)
+        paths = k_shortest_paths(diamond, "s", "t", 3, model)
+        assert paths[0] == ["s", "b", "t"]
+
+    def test_paths_are_simple(self, diamond):
+        for path in k_shortest_paths(diamond, "s", "t", 3):
+            assert len(path) == len(set(path))

@@ -1,0 +1,119 @@
+"""Tests for proactive (precomputed) routing."""
+
+import networkx as nx
+import pytest
+
+from repro.routing.proactive import ProactiveRouter, RoutingTable, StaticRoute
+from repro.routing.metrics import path_metrics
+
+
+class FakeSnapshot:
+    """Minimal stand-in for a TopologySnapshot."""
+
+    def __init__(self, time_s, edges):
+        self.time_s = time_s
+        self.graph = nx.Graph()
+        for u, v, delay in edges:
+            self.graph.add_edge(u, v, delay_s=delay, capacity_bps=10e6)
+
+
+@pytest.fixture
+def snapshots():
+    """Three epochs; the direct a-c edge exists only in the second."""
+    return [
+        FakeSnapshot(0.0, [("a", "b", 0.01), ("b", "c", 0.01)]),
+        FakeSnapshot(60.0, [("a", "b", 0.01), ("b", "c", 0.01),
+                            ("a", "c", 0.005)]),
+        FakeSnapshot(120.0, [("a", "b", 0.01), ("b", "c", 0.01)]),
+    ]
+
+
+class TestRoutingTable:
+    def test_epochs_must_increase(self):
+        table = RoutingTable()
+        table.add_epoch(0.0, {})
+        with pytest.raises(ValueError, match="strictly increasing"):
+            table.add_epoch(0.0, {})
+
+    def test_lookup_before_first_epoch_raises(self):
+        table = RoutingTable()
+        table.add_epoch(10.0, {})
+        with pytest.raises(LookupError, match="precedes"):
+            table.epoch_index_at(5.0)
+
+    def test_empty_table_raises(self):
+        with pytest.raises(LookupError, match="empty"):
+            RoutingTable().epoch_index_at(0.0)
+
+
+class TestPrecompute:
+    def test_routes_follow_topology_changes(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        early = router.route("a", "c", 10.0)
+        mid = router.route("a", "c", 70.0)
+        late = router.route("a", "c", 130.0)
+        assert early.path == ["a", "b", "c"]
+        assert mid.path == ["a", "c"]
+        assert late.path == ["a", "b", "c"]
+
+    def test_epoch_validity_bounds(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        route = router.route("a", "c", 70.0)
+        assert route.valid_from_s == 60.0
+        assert route.valid_until_s == 120.0
+
+    def test_all_pairs_by_default(self, snapshots):
+        router = ProactiveRouter()
+        table = router.precompute(snapshots[:1])
+        assert table.lookup("a", "b", 0.0) is not None
+        assert table.lookup("b", "a", 0.0) is not None
+        assert table.lookup("c", "a", 0.0) is not None
+
+    def test_selected_pairs_only(self, snapshots):
+        router = ProactiveRouter()
+        table = router.precompute(snapshots[:1], pairs=[("a", "c")])
+        assert table.lookup("a", "c", 0.0) is not None
+        assert table.lookup("c", "a", 0.0) is None
+        assert table.lookup("a", "b", 0.0) is None
+
+    def test_route_count(self, snapshots):
+        router = ProactiveRouter()
+        table = router.precompute(snapshots)
+        # 3 nodes fully connected by paths: 6 directed pairs per epoch.
+        assert table.route_count == 18
+
+    def test_metrics_recorded(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        route = router.route("a", "c", 0.0)
+        assert route.metrics.propagation_delay_s == pytest.approx(0.02)
+        assert route.metrics.hop_count == 2
+
+    def test_rejects_empty_snapshots(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ProactiveRouter().precompute([])
+
+    def test_rejects_unordered_snapshots(self, snapshots):
+        with pytest.raises(ValueError, match="time-ordered"):
+            ProactiveRouter().precompute([snapshots[1], snapshots[0]])
+
+    def test_lookup_unknown_pair_returns_none(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        assert router.route("a", "ghost", 0.0) is None
+
+    def test_horizon_extends_last_epoch(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots, horizon_s=1000.0)
+        route = router.route("a", "c", 500.0)
+        assert route is not None
+        assert route.valid_until_s == 1000.0
+
+    def test_disconnected_node_has_no_routes(self):
+        snap = FakeSnapshot(0.0, [("a", "b", 0.01)])
+        snap.graph.add_node("island")
+        router = ProactiveRouter()
+        table = router.precompute([snap])
+        assert table.lookup("a", "island", 0.0) is None

@@ -1,0 +1,113 @@
+"""Tests for RADIUS-style authentication."""
+
+import pytest
+
+from repro.security.auth import (
+    AccessAccept,
+    AccessReject,
+    RadiusServer,
+    _hide_password,
+    _reveal_password,
+)
+
+
+@pytest.fixture
+def server():
+    s = RadiusServer("isp-home", b"shared-secret")
+    s.enroll("alice", b"correct-horse")
+    return s
+
+
+class TestPasswordHiding:
+    def test_round_trip(self):
+        secret, auth = b"secret", b"\x01" * 16
+        for pw in (b"x", b"a-longer-password", b"p" * 40, b"p" * 64):
+            hidden = _hide_password(pw, secret, auth)
+            assert _reveal_password(hidden, secret, auth) == pw
+
+    def test_hidden_is_not_plaintext(self):
+        hidden = _hide_password(b"password", b"secret", b"\x02" * 16)
+        assert b"password" not in hidden
+
+    def test_hidden_length_multiple_of_32(self):
+        hidden = _hide_password(b"pw", b"secret", b"\x00" * 16)
+        assert len(hidden) % 32 == 0
+
+    def test_wrong_secret_garbles(self):
+        auth = b"\x03" * 16
+        hidden = _hide_password(b"password", b"secret", auth)
+        assert _reveal_password(hidden, b"other", auth) != b"password"
+
+    def test_rejects_empty_password(self):
+        with pytest.raises(ValueError):
+            _hide_password(b"", b"secret", b"\x00" * 16)
+
+    def test_reveal_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            _reveal_password(b"short", b"secret", b"\x00" * 16)
+
+
+class TestServer:
+    def test_accept_with_correct_credentials(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        response = server.handle(request, now_s=100.0)
+        assert isinstance(response, AccessAccept)
+        assert response.certificate.user_id == "alice"
+        assert response.certificate.issuer == "isp-home"
+        assert server.accept_count == 1
+
+    def test_reject_wrong_password(self, server):
+        request = server.make_request("alice", b"wrong", "sat-1")
+        response = server.handle(request)
+        assert isinstance(response, AccessReject)
+        assert response.reason == "bad credentials"
+        assert server.reject_count == 1
+
+    def test_reject_unknown_user(self, server):
+        request = server.make_request("mallory", b"whatever", "sat-1")
+        response = server.handle(request)
+        assert isinstance(response, AccessReject)
+        assert "unknown user" in response.reason
+
+    def test_reject_realm_mismatch(self, server):
+        other = RadiusServer("isp-other", b"shared-secret")
+        request = other.make_request("alice", b"correct-horse", "sat-1")
+        response = server.handle(request)
+        assert isinstance(response, AccessReject)
+        assert "realm mismatch" in response.reason
+
+    def test_certificate_validity_window(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        response = server.handle(request, now_s=500.0, validity_s=3600.0)
+        cert = response.certificate
+        assert cert.issued_at_s == 500.0
+        assert cert.expires_at_s == 4100.0
+
+    def test_response_hmac_verifies(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        response = server.handle(request)
+        assert server.verify_response_hmac(request, response)
+
+    def test_response_hmac_detects_forgery(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        response = server.handle(request)
+        forged = AccessAccept(
+            user_id=response.user_id,
+            certificate=response.certificate,
+            response_hmac=b"\x00" * 32,
+        )
+        assert not server.verify_response_hmac(request, forged)
+
+    def test_requires_secret(self):
+        with pytest.raises(ValueError):
+            RadiusServer("isp", b"")
+
+    def test_enroll_requires_password(self, server):
+        with pytest.raises(ValueError):
+            server.enroll("bob", b"")
+
+    def test_each_request_fresh_authenticator(self, server):
+        r1 = server.make_request("alice", b"correct-horse", "sat-1")
+        r2 = server.make_request("alice", b"correct-horse", "sat-1")
+        assert r1.authenticator != r2.authenticator
+        assert r1.hidden_password != r2.hidden_password

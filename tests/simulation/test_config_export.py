@@ -1,0 +1,105 @@
+"""Tests for scenario config files and CSV export."""
+
+import json
+
+import pytest
+
+from repro.core.interop import SizeClass
+from repro.experiments.export import figure_2b_to_csv, rows_to_csv
+from repro.simulation.config import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.simulation.scenario import Scenario
+
+
+class TestScenarioConfig:
+    def test_round_trip(self, tmp_path):
+        scenario = Scenario(
+            name="rt", satellite_count=30,
+            operator_names=("a", "b"),
+            size_mix=(SizeClass.SMALL, SizeClass.MEDIUM),
+            user_count=9, seed=3, sample_times_s=(0.0, 60.0),
+        )
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        loaded = load_scenario(path)
+        assert loaded == scenario
+
+    def test_from_dict_parses_size_names(self):
+        scenario = scenario_from_dict({
+            "name": "x", "size_mix": ["medium", "large"],
+        })
+        assert scenario.size_mix == (SizeClass.MEDIUM, SizeClass.LARGE)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario config keys"):
+            scenario_from_dict({"satelite_count": 10})
+
+    def test_unknown_size_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown size class"):
+            scenario_from_dict({"size_mix": ["jumbo"]})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_scenario(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_scenario(path)
+
+    def test_explicit_constellation_not_serializable(self, iridium):
+        scenario = Scenario(constellation=iridium)
+        with pytest.raises(ValueError, match="cannot round-trip"):
+            scenario_to_dict(scenario)
+
+    def test_loaded_scenario_runs(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({
+            "name": "cfg-run", "satellite_count": 66, "user_count": 4,
+            "sample_times_s": [0.0], "seed": 1,
+        }))
+        result = load_scenario(path).run()
+        assert result.scenario_name == "cfg-run"
+        assert result.latency.reachability > 0.0
+
+
+class TestCsvExport:
+    def test_rows_to_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        count = rows_to_csv(
+            [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}], path
+        )
+        assert count == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1].startswith("1,2.5")
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no rows"):
+            rows_to_csv([], tmp_path / "empty.csv")
+
+    def test_column_order_respected(self, tmp_path):
+        path = tmp_path / "ordered.csv"
+        rows_to_csv([{"x": 1, "y": 2}], path, columns=["y", "x"])
+        assert path.read_text().splitlines()[0] == "y,x"
+
+    def test_figure_2b_export(self, tmp_path):
+        result = {
+            "series": [{"x": 10, "mean": 40.0, "p50": 39.0, "p95": 60.0,
+                        "n": 4}],
+            "reachability": {4: 0.0, 10: 0.5},
+        }
+        path = tmp_path / "fig2b.csv"
+        count = figure_2b_to_csv(result, path)
+        assert count == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("satellites,reachability")
+        # The unreachable count exports with empty latency cells.
+        assert lines[1].startswith("4,0.0")

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestFigureCommands:
+    def test_figure2a(self, capsys):
+        assert main(["figure2a"]) == 0
+        out = capsys.readouterr().out
+        assert "66 satellites" in out
+        assert "connected: True" in out
+
+    def test_figure2b_quick(self, capsys):
+        assert main(["figure2b", "--counts", "10", "40",
+                     "--trials", "2", "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "reachability" in out
+        assert "40" in out
+
+    def test_figure2c_quick(self, capsys):
+        assert main(["figure2c", "--counts", "4", "25",
+                     "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "union" in out
+
+
+class TestCatalog:
+    def test_emits_parseable_tles(self, capsys):
+        assert main(["catalog", "--kind", "star", "--satellites", "4",
+                     "--planes", "2", "--prefix", "TEST"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 12  # 4 satellites x 3 lines
+        from repro.orbits.tle import parse_tle
+        record = parse_tle(lines[:3])
+        assert record.name.startswith("TEST-")
+
+    def test_iridium_catalog_size(self, capsys):
+        assert main(["catalog"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 66 * 3
+
+
+class TestLatency:
+    def test_served_location(self, capsys):
+        assert main(["latency", "--lat", "-1.29", "--lon", "36.82"]) == 0
+        out = capsys.readouterr().out
+        assert "ms" in out
+
+    def test_requires_coordinates(self):
+        with pytest.raises(SystemExit):
+            main(["latency", "--lat", "10.0"])
+
+
+class TestAvailabilityCommand:
+    def test_runs_and_reports_both_sweeps(self, capsys):
+        assert main(["availability", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "availability vs fleet size" in out
+        assert "walker-star" in out
+        assert "resilience to failures" in out
+
+
+class TestReportCommand:
+    def test_writes_markdown_report(self, tmp_path, capsys):
+        output = tmp_path / "RESULTS.md"
+        assert main(["report", "--output", str(output), "--trials", "2"]) == 0
+        content = output.read_text()
+        assert "# RESULTS" in content
+        assert "Figure 2(b)" in content
+        assert "Key ablations" in content
+        assert "resilience" in content
