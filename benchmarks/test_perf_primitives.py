@@ -9,6 +9,7 @@ snapshots.  Regressions here multiply directly into experiment wall-clock.
 
 import numpy as np
 
+from repro import obs
 from repro.core.interop import SizeClass, build_fleet
 from repro.core.network import OpenSpaceNetwork
 from repro.ground.station import default_station_network
@@ -76,3 +77,37 @@ def test_perf_network_snapshot(benchmark):
 
     snap = benchmark(network.snapshot, 0.0)
     assert snap.graph.number_of_nodes() == 66 + 15
+
+
+# -- observability overhead --------------------------------------------
+# The engine's hot loop is instrumented (see repro.simulation.engine);
+# the contract is that the default NullRecorder keeps the disabled path
+# within noise of uninstrumented code.  Compare these two benches to see
+# what an active recorder costs per event.
+
+_OBS_BENCH_EVENTS = 20_000
+
+
+def _run_engine_burst():
+    from repro.simulation.engine import SimulationEngine
+
+    engine = SimulationEngine()
+    for index in range(_OBS_BENCH_EVENTS):
+        engine.schedule(float(index), lambda: None, label="bench")
+    engine.run()
+    return engine.processed_count
+
+
+def test_perf_engine_throughput_obs_disabled(benchmark):
+    assert obs.active() is obs.NULL_RECORDER
+    processed = benchmark(_run_engine_burst)
+    assert processed == _OBS_BENCH_EVENTS
+
+
+def test_perf_engine_throughput_obs_enabled(benchmark):
+    def run_with_recorder():
+        with obs.use(obs.Recorder()):
+            return _run_engine_burst()
+
+    processed = benchmark(run_with_recorder)
+    assert processed == _OBS_BENCH_EVENTS

@@ -10,7 +10,14 @@ reproduction without writing any code:
 * ``catalog`` — emit the synthetic public TLE catalog for a constellation
   (the stand-in for the N2YO/AstriaGraph data the paper's routing relies
   on);
-* ``latency`` — one-shot user-to-Internet latency query.
+* ``latency`` — one-shot user-to-Internet latency query;
+* ``obs summarize`` — render a previously captured telemetry file.
+
+Every experiment subcommand accepts ``--trace PATH`` (full JSONL
+telemetry: run manifest, counters, histograms, phases, spans) and
+``--metrics-out PATH`` (flat CSV of the metric instruments).  With
+neither flag, observability stays on the no-op recorder and costs
+nothing.
 """
 
 from __future__ import annotations
@@ -240,6 +247,20 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.export import summarize_file
+
+    try:
+        print(summarize_file(args.file, top=args.top))
+    except FileNotFoundError:
+        print(f"no such trace file: {args.file}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"malformed trace file: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,27 +268,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p2a = sub.add_parser("figure2a", help="reference constellation report")
+    # Observability flags, shared by every experiment subcommand (a parent
+    # parser so `repro figure2b --trace out.jsonl` parses naturally).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write full JSONL telemetry (manifest, metrics, spans)")
+    obs_flags.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write metric instruments as CSV")
+    obs_flags.add_argument(
+        "--obs-time-events", action="store_true",
+        help="also time every simulation-engine event (adds overhead)")
+
+    p2a = sub.add_parser("figure2a", parents=[obs_flags],
+                         help="reference constellation report")
     p2a.add_argument("--time", type=float, default=0.0)
     p2a.set_defaults(func=_cmd_figure2a)
 
-    p2b = sub.add_parser("figure2b", help="latency vs satellite count")
+    p2b = sub.add_parser("figure2b", parents=[obs_flags],
+                         help="latency vs satellite count")
     p2b.add_argument("--counts", type=int, nargs="*", default=None)
     p2b.add_argument("--trials", type=int, default=4)
     p2b.add_argument("--epochs", type=int, default=8)
     p2b.add_argument("--seed", type=int, default=42)
     p2b.set_defaults(func=_cmd_figure2b)
 
-    p2c = sub.add_parser("figure2c", help="coverage vs satellite count")
+    p2c = sub.add_parser("figure2c", parents=[obs_flags],
+                         help="coverage vs satellite count")
     p2c.add_argument("--counts", type=int, nargs="*", default=None)
     p2c.add_argument("--trials", type=int, default=6)
     p2c.add_argument("--seed", type=int, default=42)
     p2c.set_defaults(func=_cmd_figure2c)
 
-    pab = sub.add_parser("ablations", help="run every design ablation")
+    pab = sub.add_parser("ablations", parents=[obs_flags],
+                         help="run every design ablation")
     pab.set_defaults(func=_cmd_ablations)
 
-    pcat = sub.add_parser("catalog", help="emit a synthetic TLE catalog")
+    pcat = sub.add_parser("catalog", parents=[obs_flags],
+                          help="emit a synthetic TLE catalog")
     pcat.add_argument("--kind", choices=("iridium", "star", "delta"),
                       default="iridium")
     pcat.add_argument("--satellites", type=int, default=66)
@@ -275,32 +314,77 @@ def build_parser() -> argparse.ArgumentParser:
     pcat.add_argument("--prefix", default="OPENSPACE")
     pcat.set_defaults(func=_cmd_catalog)
 
-    prep = sub.add_parser("report",
+    prep = sub.add_parser("report", parents=[obs_flags],
                           help="fast pass of every experiment -> RESULTS.md")
     prep.add_argument("--output", default="RESULTS.md")
     prep.add_argument("--trials", type=int, default=3)
     prep.set_defaults(func=_cmd_report)
 
-    pav = sub.add_parser("availability",
+    pav = sub.add_parser("availability", parents=[obs_flags],
                          help="availability and failure-resilience sweeps")
     pav.add_argument("--epochs", type=int, default=8)
     pav.set_defaults(func=_cmd_availability)
 
-    plat = sub.add_parser("latency", help="user-to-Internet latency query")
+    plat = sub.add_parser("latency", parents=[obs_flags],
+                          help="user-to-Internet latency query")
     plat.add_argument("--lat", type=float, required=True)
     plat.add_argument("--lon", type=float, required=True)
     plat.add_argument("--time", type=float, default=0.0)
     plat.add_argument("--mask", type=float, default=10.0,
                       help="user elevation mask, degrees")
     plat.set_defaults(func=_cmd_latency)
+
+    pobs = sub.add_parser("obs", help="inspect captured telemetry")
+    obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
+    psum = obs_sub.add_parser("summarize",
+                              help="print top spans/counters of a trace")
+    psum.add_argument("file", help="JSONL trace written by --trace")
+    psum.add_argument("--top", type=int, default=10,
+                      help="rows per section")
+    psum.set_defaults(func=_cmd_obs_summarize)
     return parser
+
+
+def _manifest_for(args: argparse.Namespace) -> dict:
+    from repro.obs.export import run_manifest
+
+    config = {
+        key: value for key, value in vars(args).items()
+        if key not in ("func", "command") and not key.startswith("_")
+    }
+    return run_manifest(config, seed=getattr(args, "seed", None),
+                        command=args.command)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not (trace_path or metrics_path):
+        return args.func(args)
+
+    from repro import obs
+    from repro.obs.export import write_metrics_csv, write_trace_jsonl
+
+    recorder = obs.Recorder(obs.ObsConfig(
+        time_events=getattr(args, "obs_time_events", False),
+    ))
+    with obs.use(recorder):
+        exit_code = args.func(args)
+    try:
+        if trace_path:
+            count = write_trace_jsonl(recorder, trace_path,
+                                      _manifest_for(args))
+            print(f"wrote {trace_path} ({count} telemetry records)")
+        if metrics_path:
+            count = write_metrics_csv(recorder, metrics_path)
+            print(f"wrote {metrics_path} ({count} metric rows)")
+    except OSError as error:
+        print(f"cannot write telemetry: {error}", file=sys.stderr)
+        return 1
+    return exit_code
 
 
 if __name__ == "__main__":

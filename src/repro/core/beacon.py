@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.interop import SpacecraftSpec
 from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
 from repro.orbits.elements import OrbitalElements
@@ -117,6 +118,11 @@ class BeaconEvaluator:
                 continue
             ranked.append((slant_range(receiver_position_eci, sat_pos), beacon))
         ranked.sort(key=lambda item: item[0])
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("beacon.rank_calls")
+            recorder.count("beacon.evaluated", len(self.heard))
+            recorder.count("beacon.usable", len(ranked))
         return ranked
 
     def best(self, receiver_position_eci: np.ndarray,

@@ -28,6 +28,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.orbits.contact import ContactWindow
 
 #: Starlink's observed handover cadence (Garcia et al., LEO-NET '23).
@@ -198,6 +199,15 @@ class HandoverSimulator:
             now = min(current.end_s, end_s)
             if now >= end_s:
                 break
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("handover.events", len(timeline.events),
+                           label=scheme.value)
+            recorder.count("handover.coverage_gap_s",
+                           timeline.coverage_gap_s, label=scheme.value)
+            for event in timeline.events:
+                recorder.observe("handover.interruption_s",
+                                 event.interruption_s, label=scheme.value)
         return timeline
 
     def compare_schemes(self, windows: Sequence[ContactWindow],

@@ -17,10 +17,12 @@ benchmark harness prints:
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.handover import HandoverScheme, HandoverSimulator
 from repro.core.interop import SizeClass
 from repro.economics.capex import constellation_budget
@@ -38,6 +40,18 @@ from repro.routing.qos import QosRequirement, QosRouter
 from repro.simulation.scenario import Scenario
 
 
+def _traced(span_name: str):
+    """Wrap an ablation driver in a named span (no-op when obs is off)."""
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            with _obs.span(span_name):
+                return fn(*args, **kwargs)
+        return inner
+    return wrap
+
+
+@_traced("experiment.ablation.isl_mix")
 def ablation_isl_mix(laser_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
                      satellite_count: int = 66,
                      seed: int = 7) -> List[Dict]:
@@ -105,6 +119,7 @@ def _size_mix_for_fraction(fraction: float) -> List[SizeClass]:
     return mix or [SizeClass.SMALL]
 
 
+@_traced("experiment.ablation.mac")
 def ablation_mac(station_counts: Sequence[int] = (2, 4, 8, 16),
                  arrival_rate_fps: float = 0.4,
                  duration_s: float = 400.0,
@@ -144,6 +159,7 @@ def ablation_mac(station_counts: Sequence[int] = (2, 4, 8, 16),
     return rows
 
 
+@_traced("experiment.ablation.handover")
 def ablation_handover(duration_s: float = 5400.0,
                       user_site: GeodeticPoint = GeodeticPoint(-1.29, 36.82),
                       auth_round_trip_s: float = 0.180) -> Dict:
@@ -187,6 +203,7 @@ def _timeline_row(timeline) -> Dict:
     }
 
 
+@_traced("experiment.ablation.economics")
 def ablation_economics(transfer_count: int = 200, seed: int = 3) -> Dict:
     """Ledger settlement and peering emergence over synthetic traffic (§3).
 
@@ -236,6 +253,7 @@ def ablation_economics(transfer_count: int = 200, seed: int = 3) -> Dict:
     }
 
 
+@_traced("experiment.ablation.federation")
 def ablation_federation(operator_counts: Sequence[int] = (1, 2, 3, 6),
                         satellite_count: int = 66,
                         seed: int = 19) -> List[Dict]:

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import networkx as nx
 import numpy as np
 
+from repro import obs as _obs
 from repro.isl.topology import IslNode, IslTopologyBuilder
 from repro.orbits.constants import (
     IRIDIUM_ALTITUDE_KM,
@@ -41,6 +42,7 @@ from repro.orbits.visibility import (
 )
 from repro.orbits.walker import iridium_like, random_constellation
 from repro.phy.rf import standard_sband_isl_terminal
+from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import SeriesCollector
 
 #: The paper's fixed endpoints: a user in an underserved region and a
@@ -83,6 +85,11 @@ class ConstellationReport:
 
 def figure_2a_constellation(time_s: float = 0.0) -> ConstellationReport:
     """Build and characterize the paper's reference constellation."""
+    with _obs.span("experiment.figure2a", time_s=time_s):
+        return _figure_2a_constellation(time_s)
+
+
+def _figure_2a_constellation(time_s: float) -> ConstellationReport:
     constellation = iridium_like()
     positions = constellation.positions_at(time_s)
     ids = [f"sat{i}" for i in range(len(constellation))]
@@ -151,11 +158,14 @@ def _relay_latency_s(positions: np.ndarray, user_eci: np.ndarray,
             if not has_line_of_sight(positions[i], positions[j]):
                 continue
             graph.add_edge(i, j, delay_s=distance / SPEED_OF_LIGHT_KM_S)
-    try:
-        return nx.dijkstra_path_length(graph, "user", "gateway",
-                                       weight="delay_s")
-    except nx.NetworkXNoPath:
-        return None
+    with _obs.span("routing.relay.shortest_path",
+                   nodes=graph.number_of_nodes(),
+                   edges=graph.number_of_edges()):
+        try:
+            return nx.dijkstra_path_length(graph, "user", "gateway",
+                                           weight="delay_s")
+        except nx.NetworkXNoPath:
+            return None
 
 
 def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
@@ -189,26 +199,53 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
     epoch_times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
     series = SeriesCollector("latency_ms")
     reachability: Dict[int, float] = {}
+    recorder = _obs.active()
     for count in satellite_counts:
         reached = 0
         total = 0
-        for _ in range(trials):
-            constellation = random_constellation(count, rng,
-                                                 altitude_km=altitude_km)
-            propagators = constellation.propagators()
-            for time_s in epoch_times:
-                total += 1
+
+        def sample_epoch(propagators, time_s, count=count):
+            """Evaluate one (constellation, epoch) relay measurement."""
+            nonlocal reached, total
+            total += 1
+            with recorder.phase("figure2b.propagate"):
                 positions = np.array(
-                    [p.position_at(float(time_s)) for p in propagators]
+                    [p.position_at(time_s) for p in propagators]
                 )
-                user_eci = ecef_to_eci(user_site.ecef(), float(time_s))
-                gateway_eci = ecef_to_eci(gateway_site.ecef(), float(time_s))
+            user_eci = ecef_to_eci(user_site.ecef(), time_s)
+            gateway_eci = ecef_to_eci(gateway_site.ecef(), time_s)
+            with recorder.phase("figure2b.relay_path"):
                 latency = _relay_latency_s(positions, user_eci,
                                            gateway_eci,
                                            min_elevation_deg=0.0)
-                if latency is not None:
-                    series.add(count, latency * 1000.0)
-                    reached += 1
+            if latency is not None:
+                series.add(count, latency * 1000.0)
+                reached += 1
+                if recorder.enabled:
+                    recorder.observe("figure2b.latency_ms",
+                                     latency * 1000.0, label=str(count))
+
+        with recorder.span("experiment.figure2b.sweep_point",
+                           satellites=count, trials=trials, epochs=epochs):
+            for _ in range(trials):
+                constellation = random_constellation(count, rng,
+                                                     altitude_km=altitude_km)
+                propagators = constellation.propagators()
+                # The epoch samples run as discrete events so the sweep
+                # exercises (and is measured through) the same engine the
+                # protocol simulations use.
+                engine = SimulationEngine()
+                for time_s in epoch_times:
+                    engine.schedule(
+                        float(time_s),
+                        lambda p=propagators, t=float(time_s):
+                            sample_epoch(p, t),
+                        label="figure2b.epoch",
+                    )
+                engine.run()
+        if recorder.enabled:
+            recorder.count("figure2b.epochs", total, label=str(count))
+            recorder.count("figure2b.reached", reached, label=str(count))
         reachability[count] = reached / total
     rows = []
     for x in series.xs():
@@ -244,19 +281,27 @@ def figure_2c_coverage(satellite_counts: Sequence[int] = tuple(
         raise ValueError(f"need at least one trial, got {trials}")
     rng = np.random.default_rng(seed)
     rows = []
+    recorder = _obs.active()
     for count in satellite_counts:
         union_vals, worst_vals, cluster_vals = [], [], []
-        for _ in range(trials):
-            constellation = random_constellation(count, rng,
-                                                 altitude_km=altitude_km)
-            positions = constellation.positions_at(0.0)
-            union_vals.append(coverage_fraction(positions, altitude_km))
-            worst_vals.append(
-                worst_case_coverage_fraction(positions, altitude_km)
-            )
-            cluster_vals.append(
-                cluster_coverage_fraction(positions, altitude_km)
-            )
+        with recorder.span("experiment.figure2c.sweep_point",
+                           satellites=count, trials=trials):
+            for _ in range(trials):
+                constellation = random_constellation(count, rng,
+                                                     altitude_km=altitude_km)
+                positions = constellation.positions_at(0.0)
+                with recorder.phase("figure2c.coverage"):
+                    union_vals.append(
+                        coverage_fraction(positions, altitude_km)
+                    )
+                    worst_vals.append(
+                        worst_case_coverage_fraction(positions, altitude_km)
+                    )
+                    cluster_vals.append(
+                        cluster_coverage_fraction(positions, altitude_km)
+                    )
+        if recorder.enabled:
+            recorder.count("figure2c.trials", trials, label=str(count))
         rows.append({
             "satellites": count,
             "union": float(np.mean(union_vals)),

@@ -1,0 +1,222 @@
+"""Trace/metric exporters and the run manifest.
+
+The on-disk format is JSON Lines: one self-describing record per line,
+discriminated by a ``type`` field —
+
+* ``manifest`` — run identity: config hash, seed, package versions;
+* ``counter`` / ``gauge`` / ``histogram`` — registry instruments;
+* ``phase`` — profiler aggregates;
+* ``span`` — individual trace spans (open order, parent links).
+
+Records are emitted with sorted keys and metric rows in sorted
+``(type, name, label)`` order, so two same-seed runs differ only in the
+wall-clock duration fields — the metric *values* are byte-identical.
+A flat CSV of the metric instruments is available for spreadsheet use.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs import Recorder
+
+
+def config_hash(config: Dict) -> str:
+    """Stable short hash of a run configuration dict.
+
+    Non-JSON-serializable values are stringified, so argparse namespaces
+    converted with ``vars()`` hash cleanly.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def run_manifest(config: Optional[Dict] = None,
+                 seed: Optional[int] = None,
+                 command: Optional[str] = None) -> Dict:
+    """The run-identity record written first in every trace file."""
+    import networkx
+    import numpy
+
+    from repro import __version__
+
+    config = dict(config or {})
+    return {
+        "type": "manifest",
+        "command": command or "",
+        "config": {k: config[k] for k in sorted(config, key=str)},
+        "config_hash": config_hash(config),
+        "seed": seed,
+        "versions": {
+            "python": platform.python_version(),
+            "repro": __version__,
+            "numpy": numpy.__version__,
+            "networkx": networkx.__version__,
+        },
+    }
+
+
+def trace_rows(recorder: Recorder, manifest: Optional[Dict] = None) -> List[Dict]:
+    """Every export record of one run, manifest first."""
+    rows: List[Dict] = [manifest or run_manifest()]
+    rows += recorder.metrics.rows()
+    rows += recorder.profiler.rows()
+    rows += recorder.tracer.rows()
+    return rows
+
+
+def write_trace_jsonl(recorder: Recorder, path: Union[str, Path],
+                      manifest: Optional[Dict] = None) -> int:
+    """Write the full trace (manifest, metrics, phases, spans) as JSONL.
+
+    Returns:
+        Number of records written.
+    """
+    rows = trace_rows(recorder, manifest)
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True, default=str))
+            handle.write("\n")
+    return len(rows)
+
+
+def write_metrics_csv(recorder: Recorder, path: Union[str, Path]) -> int:
+    """Write the metric instruments as a flat CSV.
+
+    Counters/gauges carry ``value``; histograms carry count/mean and the
+    reservoir percentiles.  Bucket vectors stay in the JSONL export.
+
+    Returns:
+        Number of data rows written.
+    """
+    columns = ["type", "name", "label", "value", "count", "total", "mean",
+               "min", "max", "p50", "p95", "p99", "calls", "total_s"]
+    rows = recorder.metrics.rows() + recorder.profiler.rows()
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Parse a trace file back into records.
+
+    Raises:
+        ValueError: On a line that is not a JSON object.
+    """
+    records = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{number}: expected a JSON object, got "
+                    f"{type(record).__name__}"
+                )
+            records.append(record)
+    return records
+
+
+def summarize_records(records: Sequence[Dict], top: int = 10) -> str:
+    """Human-readable summary of a trace: manifest, top spans, counters.
+
+    Args:
+        records: Parsed JSONL records (any mix of types).
+        top: Row cap per section.
+    """
+    by_type: Dict[str, List[Dict]] = {}
+    for record in records:
+        by_type.setdefault(str(record.get("type", "?")), []).append(record)
+    lines: List[str] = []
+
+    for manifest in by_type.get("manifest", [])[:1]:
+        versions = manifest.get("versions", {})
+        lines.append(
+            f"run: command={manifest.get('command') or '-'} "
+            f"config_hash={manifest.get('config_hash', '-')} "
+            f"seed={manifest.get('seed')}"
+        )
+        lines.append(
+            "versions: " + " ".join(
+                f"{k}={versions[k]}" for k in sorted(versions)
+            )
+        )
+
+    spans = by_type.get("span", [])
+    if spans:
+        aggregated: Dict[str, Dict[str, float]] = {}
+        for row in spans:
+            agg = aggregated.setdefault(
+                str(row["name"]), {"count": 0, "total_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_s"] += float(row.get("duration_s", 0.0))
+        ranked = sorted(aggregated.items(),
+                        key=lambda item: (-item[1]["total_s"], item[0]))
+        lines.append("")
+        lines.append(f"top spans ({len(spans)} total):")
+        for name, agg in ranked[:top]:
+            lines.append(
+                f"  {name:<44} x{int(agg['count']):<6} "
+                f"{agg['total_s']:.4f} s"
+            )
+
+    phases = by_type.get("phase", [])
+    if phases:
+        lines.append("")
+        lines.append("phases:")
+        for row in phases[:top]:
+            lines.append(
+                f"  {row['name']:<44} x{int(row['calls']):<6} "
+                f"{float(row['total_s']):.4f} s"
+            )
+
+    counters = by_type.get("counter", [])
+    if counters:
+        ranked = sorted(counters,
+                        key=lambda r: (-float(r["value"]), r["name"],
+                                       r.get("label", "")))
+        lines.append("")
+        lines.append(f"top counters ({len(counters)} total):")
+        for row in ranked[:top]:
+            label = f"{{{row['label']}}}" if row.get("label") else ""
+            lines.append(f"  {row['name']}{label:<24} "
+                         f"{float(row['value']):g}")
+
+    histograms = by_type.get("histogram", [])
+    if histograms:
+        lines.append("")
+        lines.append(f"histograms ({len(histograms)} total):")
+        for row in histograms[:top]:
+            label = f"{{{row['label']}}}" if row.get("label") else ""
+            lines.append(
+                f"  {row['name']}{label} n={row['count']} "
+                f"mean={float(row['mean']):.4g} p50={float(row['p50']):.4g} "
+                f"p95={float(row['p95']):.4g} max={float(row['max']):.4g}"
+            )
+
+    if not lines:
+        return "empty trace"
+    return "\n".join(lines)
+
+
+def summarize_file(path: Union[str, Path], top: int = 10) -> str:
+    """Summarize a trace file (the ``repro obs summarize`` backend)."""
+    return summarize_records(read_jsonl(path), top=top)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro import obs as _obs
 from repro.routing.metrics import (
     EdgeCostModel,
     PROPAGATION_ONLY,
@@ -130,40 +131,53 @@ class ProactiveRouter:
 
         self.table = RoutingTable()
         weight = self.cost_model.weight_fn()
-        for snap, valid_until in zip(snapshots, times[1:] + [horizon_s]):
-            epoch_routes: Dict[Tuple[str, str], StaticRoute] = {}
-            graph = snap.graph
-            if pairs is None:
-                wanted_sources = list(graph.nodes)
-            else:
-                wanted_sources = sorted({src for src, _ in pairs})
-            wanted_by_source: Dict[str, Optional[set]] = {}
-            if pairs is not None:
-                for src, dst in pairs:
-                    wanted_by_source.setdefault(src, set()).add(dst)
-            for source in wanted_sources:
-                if source not in graph:
-                    continue
-                _dist, paths = nx.single_source_dijkstra(
-                    graph, source, weight=weight
-                )
-                targets = wanted_by_source.get(source)
-                for target, path in paths.items():
-                    if target == source:
+        recorder = _obs.active()
+        with recorder.span("routing.proactive.precompute",
+                           snapshots=len(snapshots),
+                           pairs="all" if pairs is None else len(pairs)):
+            for snap, valid_until in zip(snapshots, times[1:] + [horizon_s]):
+                epoch_routes: Dict[Tuple[str, str], StaticRoute] = {}
+                graph = snap.graph
+                if pairs is None:
+                    wanted_sources = list(graph.nodes)
+                else:
+                    wanted_sources = sorted({src for src, _ in pairs})
+                wanted_by_source: Dict[str, Optional[set]] = {}
+                if pairs is not None:
+                    for src, dst in pairs:
+                        wanted_by_source.setdefault(src, set()).add(dst)
+                for source in wanted_sources:
+                    if source not in graph:
                         continue
-                    if targets is not None and target not in targets:
-                        continue
-                    epoch_routes[(source, target)] = StaticRoute(
-                        source=source,
-                        target=target,
-                        valid_from_s=snap.time_s,
-                        valid_until_s=valid_until,
-                        metrics=path_metrics(graph, path),
+                    _dist, paths = nx.single_source_dijkstra(
+                        graph, source, weight=weight
                     )
-            self.table.add_epoch(snap.time_s, epoch_routes)
+                    targets = wanted_by_source.get(source)
+                    for target, path in paths.items():
+                        if target == source:
+                            continue
+                        if targets is not None and target not in targets:
+                            continue
+                        epoch_routes[(source, target)] = StaticRoute(
+                            source=source,
+                            target=target,
+                            valid_from_s=snap.time_s,
+                            valid_until_s=valid_until,
+                            metrics=path_metrics(graph, path),
+                        )
+                if recorder.enabled:
+                    recorder.count("routing.proactive.routes",
+                                   len(epoch_routes))
+                    recorder.count("routing.proactive.epochs")
+                self.table.add_epoch(snap.time_s, epoch_routes)
         return self.table
 
     def route(self, source: str, target: str,
               time_s: float) -> Optional[StaticRoute]:
         """Look up the precomputed route for a pair at a time."""
-        return self.table.lookup(source, target, time_s)
+        found = self.table.lookup(source, target, time_s)
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("routing.proactive.lookups",
+                           label="hit" if found is not None else "miss")
+        return found

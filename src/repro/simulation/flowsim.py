@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro import obs as _obs
 from repro.simulation.traffic import FlowSpec
 
 
@@ -176,6 +177,22 @@ class FlowSimulator:
         active flows progress at their max-min fair rates.  The simulation
         runs until every admitted flow completes.
         """
+        recorder = _obs.active()
+        with recorder.span("simulation.flowsim.run", flows=len(flows)):
+            result = self._simulate(flows)
+        if recorder.enabled:
+            recorder.count("flowsim.flows", len(result.completed),
+                           label="completed")
+            recorder.count("flowsim.flows", len(result.rejected),
+                           label="rejected")
+            recorder.gauge("flowsim.peak_concurrent",
+                           result.peak_concurrent_flows)
+            for flow in result.completed:
+                recorder.observe("flowsim.completion_s",
+                                 flow.completion_time_s)
+        return result
+
+    def _simulate(self, flows: Sequence[FlowSpec]) -> FlowSimResult:
         result = FlowSimResult()
         pending = sorted(flows, key=lambda f: f.start_s)
         active: List[ActiveFlow] = []

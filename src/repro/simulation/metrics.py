@@ -75,10 +75,17 @@ class LatencyCollector:
 
     @property
     def reachability(self) -> float:
-        """Fraction of recorded flows that found a path."""
+        """Fraction of recorded flows that found a path.
+
+        Returns ``float("nan")`` when no flows were recorded at all —
+        "nothing measured" must stay distinguishable from "every flow
+        unreachable" (0.0), which a default of zero silently conflated.
+        Callers aggregating reachability across runs should skip NaNs
+        (``math.isnan``) rather than average them away.
+        """
         total = len(self.samples_s) + self.unreachable_count
         if total == 0:
-            return 0.0
+            return float("nan")
         return len(self.samples_s) / total
 
     def summary(self) -> SummaryStats:

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.handover import HandoverScheme
 from repro.core.network import OpenSpaceNetwork
 from repro.ground.user import UserTerminal
@@ -127,6 +128,21 @@ class SessionSimulator:
             raise ValueError(f"end {end_s} must be after start {start_s}")
         if epoch_s <= 0.0:
             raise ValueError(f"epoch must be positive, got {epoch_s}")
+        recorder = _obs.active()
+        with recorder.span("simulation.session.run", user=user.user_id,
+                           scheme=scheme.value, start_s=start_s,
+                           end_s=end_s):
+            trace = self._replay(user, start_s, end_s, epoch_s, scheme)
+        if recorder.enabled:
+            recorder.count("session.samples", len(trace.samples))
+            recorder.count("session.handovers", trace.handover_count,
+                           label=scheme.value)
+            recorder.count("session.outage_s", trace.total_outage_s,
+                           label=scheme.value)
+        return trace
+
+    def _replay(self, user: UserTerminal, start_s: float, end_s: float,
+                epoch_s: float, scheme: HandoverScheme) -> SessionTrace:
         trace = SessionTrace(scheme=scheme, epoch_s=epoch_s)
         previous_satellite: Optional[str] = None
         for time_s in np.arange(start_s, end_s, epoch_s):

@@ -1,0 +1,160 @@
+"""Tests for JSONL/CSV export, the run manifest, and trace summaries."""
+
+import csv
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    config_hash,
+    read_jsonl,
+    run_manifest,
+    summarize_file,
+    summarize_records,
+    trace_rows,
+    write_metrics_csv,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def recorder():
+    instance = obs.Recorder()
+    with obs.use(instance):
+        with obs.span("experiment.demo", satellites=66):
+            with obs.span("routing.demo"):
+                obs.count("events", 3, label="tick")
+                obs.observe("latency_ms", 31.0)
+                obs.observe("latency_ms", 45.0)
+        with obs.phase("build"):
+            pass
+        obs.gauge("queue_depth", 4)
+    return instance
+
+
+class TestManifest:
+    def test_contains_identity_fields(self):
+        manifest = run_manifest({"trials": 4, "seed": 42}, seed=42,
+                                command="figure2b")
+        assert manifest["type"] == "manifest"
+        assert manifest["command"] == "figure2b"
+        assert manifest["seed"] == 42
+        assert len(manifest["config_hash"]) == 16
+        for package in ("python", "repro", "numpy", "networkx"):
+            assert manifest["versions"][package]
+
+    def test_config_hash_is_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_config_hash_distinguishes_configs(self):
+        assert config_hash({"trials": 4}) != config_hash({"trials": 5})
+
+    def test_unserializable_values_stringified(self):
+        assert config_hash({"path": object()})  # must not raise
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, recorder, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_trace_jsonl(
+            recorder, path, run_manifest({"x": 1}, seed=7, command="demo"))
+        records = read_jsonl(path)
+        assert len(records) == written
+        kinds = {record["type"] for record in records}
+        assert kinds == {"manifest", "counter", "gauge", "histogram",
+                         "phase", "span"}
+        spans = [r for r in records if r["type"] == "span"]
+        assert {s["name"] for s in spans} == {"experiment.demo",
+                                              "routing.demo"}
+        inner = next(s for s in spans if s["name"] == "routing.demo")
+        outer = next(s for s in spans if s["name"] == "experiment.demo")
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_manifest_is_first_record(self, recorder, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(recorder, path)
+        assert read_jsonl(path)[0]["type"] == "manifest"
+
+    def test_metric_values_deterministic_across_runs(self, tmp_path):
+        def capture(path):
+            recorder = obs.Recorder()
+            with obs.use(recorder):
+                for value in range(200):
+                    obs.observe("h", float(value % 17), label="x")
+                    obs.count("c", label="x")
+            write_trace_jsonl(recorder, path,
+                              run_manifest({"seed": 1}, seed=1))
+
+        capture(tmp_path / "a.jsonl")
+        capture(tmp_path / "b.jsonl")
+        strip = {"versions"}  # identical here, but keep the check focused
+
+        def comparable(path):
+            return [
+                {k: v for k, v in record.items() if k not in strip}
+                for record in read_jsonl(path)
+            ]
+
+        assert comparable(tmp_path / "a.jsonl") == comparable(
+            tmp_path / "b.jsonl")
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_jsonl(path)
+
+    def test_read_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            read_jsonl(path)
+
+
+class TestCsv:
+    def test_metrics_csv(self, recorder, tmp_path):
+        path = tmp_path / "metrics.csv"
+        rows_written = write_metrics_csv(recorder, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == rows_written
+        counter = next(r for r in rows if r["type"] == "counter")
+        assert counter["name"] == "events"
+        assert float(counter["value"]) == 3.0
+        histogram = next(r for r in rows if r["type"] == "histogram")
+        assert histogram["name"] == "latency_ms"
+        assert int(histogram["count"]) == 2
+
+
+class TestSummarize:
+    def test_summary_sections(self, recorder, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(recorder, path,
+                          run_manifest({}, seed=3, command="demo"))
+        summary = summarize_file(path)
+        assert "seed=3" in summary
+        assert "top spans" in summary
+        assert "experiment.demo" in summary
+        assert "top counters" in summary
+        assert "events" in summary
+        assert "histograms" in summary
+
+    def test_empty_trace(self):
+        assert summarize_records([]) == "empty trace"
+
+    def test_top_limits_rows(self, tmp_path):
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            for index in range(20):
+                obs.count(f"counter_{index:02d}")
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(recorder, path)
+        summary = summarize_file(path, top=3)
+        assert summary.count("counter_") == 3
+        assert "(20 total)" in summary
+
+    def test_trace_rows_include_everything(self, recorder):
+        rows = trace_rows(recorder)
+        assert rows[0]["type"] == "manifest"
+        assert sum(1 for r in rows if r["type"] == "span") == 2

@@ -78,6 +78,72 @@ class TestCancel:
         engine.run()
         assert fired == ["keep"]
 
+    def test_pending_count_excludes_cancelled(self):
+        engine = SimulationEngine()
+        kept = [engine.schedule(float(t), lambda: None) for t in range(3)]
+        doomed = engine.schedule(5.0, lambda: None)
+        engine.cancel(doomed)
+        assert engine.pending_count == 3
+        engine.cancel(kept[0])
+        assert engine.pending_count == 2
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.cancel(event)
+        engine.cancel(event)
+        assert engine.pending_count == 0
+        assert engine.cancelled_pending_count == 1
+        assert engine.run() == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.cancel(event)
+        assert engine.cancelled_pending_count == 0
+        assert engine.pending_count == 0
+
+    def test_no_stale_accumulation_across_run_until(self):
+        # Cancelled entries beyond the horizon must not pile up in the
+        # cancelled set forever once the horizon passes them.
+        engine = SimulationEngine()
+        for t in range(10):
+            event = engine.schedule(100.0 + t, lambda: None)
+            engine.cancel(event)
+        live = engine.schedule(200.0, lambda: None)
+        engine.run_until(50.0)   # breaks before any cancelled entry pops
+        assert engine.pending_count == 1
+        engine.run_until(150.0)  # horizon sweeps past the cancelled block
+        assert engine.cancelled_pending_count == 0
+        assert engine.pending_count == 1
+        engine.cancel(live)
+        assert engine.pending_count == 0
+
+    def test_mass_cancel_compacts_heap(self):
+        engine = SimulationEngine()
+        doomed = [engine.schedule(1.0, lambda: None) for _ in range(200)]
+        survivor = engine.schedule(2.0, lambda: None)
+        for event in doomed:
+            engine.cancel(event)
+        # Compaction rebuilt the heap: no cancelled entries linger.
+        assert engine.cancelled_pending_count < 200
+        assert engine.pending_count == 1
+        assert engine.run() == 1
+        assert engine.pending_count == 0
+        assert survivor.sequence not in engine._cancelled
+
+    def test_cancelled_head_does_not_pull_event_past_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        doomed = engine.schedule(1.0, lambda: fired.append("dead"))
+        engine.schedule(10.0, lambda: fired.append("late"))
+        engine.cancel(doomed)
+        processed = engine.run_until(5.0)
+        assert processed == 0
+        assert fired == []
+        assert engine.now_s == 5.0
+
 
 class TestRunUntil:
     def test_stops_at_horizon(self):
@@ -119,3 +185,70 @@ class TestRunUntil:
             engine.schedule(float(t), lambda: None)
         engine.run()
         assert engine.processed_count == 5
+
+
+class TestGuardsAndOrdering:
+    def test_run_runaway_guard(self):
+        engine = SimulationEngine()
+
+        def reschedule():
+            engine.schedule_in(0.1, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="runaway"):
+            engine.run(max_events=50)
+
+    def test_run_until_guard_leaves_headroom(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule(float(t), lambda: None)
+        assert engine.run_until(20.0, max_events=11) == 10
+
+    def test_cancelled_events_do_not_trip_guard(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            event = engine.schedule(float(t), lambda: None)
+            engine.cancel(event)
+        survivor_fired = []
+        engine.schedule(3.0, lambda: survivor_fired.append(True))
+        # Ten cancelled entries must not count toward max_events.
+        assert engine.run_until(20.0, max_events=2) == 1
+        assert survivor_fired == [True]
+
+    def test_fifo_among_simultaneous_interleaved_times(self):
+        # Schedule order at equal times must be preserved even when the
+        # equal-time events are pushed between events at other times.
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("t2-first"))
+        engine.schedule(1.0, lambda: fired.append("t1-first"))
+        engine.schedule(2.0, lambda: fired.append("t2-second"))
+        engine.schedule(1.0, lambda: fired.append("t1-second"))
+        engine.schedule(2.0, lambda: fired.append("t2-third"))
+        engine.run()
+        assert fired == ["t1-first", "t1-second", "t2-first",
+                         "t2-second", "t2-third"]
+
+    def test_fifo_preserved_for_events_scheduled_during_run(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def spawn():
+            engine.schedule(5.0, lambda: fired.append("child-a"))
+            engine.schedule(5.0, lambda: fired.append("child-b"))
+
+        engine.schedule(5.0, lambda: fired.append("parent-after"))
+        engine.schedule(0.0, spawn)
+        engine.run()
+        assert fired == ["parent-after", "child-a", "child-b"]
+
+    def test_fifo_survives_compaction(self):
+        engine = SimulationEngine()
+        fired = []
+        doomed = [engine.schedule(1.0, lambda: None) for _ in range(150)]
+        for name in "abc":
+            engine.schedule(1.0, lambda n=name: fired.append(n))
+        for event in doomed:
+            engine.cancel(event)
+        engine.run()
+        assert fired == ["a", "b", "c"]

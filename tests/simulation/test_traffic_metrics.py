@@ -1,5 +1,7 @@
 """Tests for traffic generation and metric collectors."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -129,8 +131,15 @@ class TestLatencyCollector:
         assert collector.summary().mean == pytest.approx(0.040)
         assert collector.summary_ms().mean == pytest.approx(40.0)
 
-    def test_empty_reachability_zero(self):
-        assert LatencyCollector().reachability == 0.0
+    def test_empty_reachability_is_nan(self):
+        # "nothing measured" must stay distinguishable from "all flows
+        # unreachable" (which is a true 0.0).
+        assert math.isnan(LatencyCollector().reachability)
+
+    def test_all_unreachable_is_zero(self):
+        collector = LatencyCollector()
+        collector.record(None)
+        assert collector.reachability == 0.0
 
     def test_rejects_negative(self):
         with pytest.raises(ValueError):

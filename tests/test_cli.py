@@ -58,6 +58,88 @@ class TestLatency:
         out = capsys.readouterr().out
         assert "ms" in out
 
+
+class TestObservability:
+    def test_trace_covers_engine_routing_and_experiment(self, capsys,
+                                                        tmp_path):
+        from repro import obs
+        from repro.obs.export import read_jsonl
+
+        trace = tmp_path / "out.jsonl"
+        metrics = tmp_path / "metrics.csv"
+        assert main(["figure2b", "--counts", "10", "25", "--trials", "2",
+                     "--epochs", "4", "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        # The recorder must not leak past the command.
+        assert obs.active() is obs.NULL_RECORDER
+        records = read_jsonl(trace)
+        assert records[0]["type"] == "manifest"
+        assert records[0]["command"] == "figure2b"
+        assert records[0]["seed"] == 42
+        span_layers = {
+            record["name"].split(".")[0]
+            for record in records if record["type"] == "span"
+        }
+        assert {"engine", "routing", "experiment"} <= span_layers
+        counters = {
+            (record["name"], record["label"])
+            for record in records if record["type"] == "counter"
+        }
+        assert ("engine.events", "figure2b.epoch") in counters
+        assert metrics.read_text().startswith("type,name,label")
+
+    def test_same_seed_runs_have_identical_metric_values(self, capsys,
+                                                         tmp_path):
+        from repro.obs.export import read_jsonl
+
+        def capture(name):
+            path = tmp_path / name
+            assert main(["figure2b", "--counts", "16", "--trials", "2",
+                         "--epochs", "3", "--trace", str(path)]) == 0
+            capsys.readouterr()
+            # The output path itself lands in the manifest config, so
+            # drop config fields along with wall-clock timings.
+            nondeterministic = ("duration_s", "total_s", "max_s",
+                                "config", "config_hash")
+            return [
+                {k: v for k, v in record.items()
+                 if k not in nondeterministic}
+                for record in read_jsonl(path)
+            ]
+
+        assert capture("a.jsonl") == capture("b.jsonl")
+
+    def test_obs_summarize(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        assert main(["figure2a", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "top spans" in out
+        assert "experiment.figure2a" in out
+        assert "config_hash" in out
+
+    def test_obs_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_obs_summarize_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["obs", "summarize", str(bad)]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_unwritable_trace_path_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "no-such-dir" / "out.jsonl"
+        assert main(["figure2a", "--trace", str(bad)]) == 1
+        assert "cannot write telemetry" in capsys.readouterr().err
+
+    def test_no_flags_means_null_recorder(self, capsys):
+        from repro import obs
+
+        assert main(["figure2a"]) == 0
+        assert obs.active() is obs.NULL_RECORDER
+
     def test_requires_coordinates(self):
         with pytest.raises(SystemExit):
             main(["latency", "--lat", "10.0"])
