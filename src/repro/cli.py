@@ -11,6 +11,9 @@ reproduction without writing any code:
   (the stand-in for the N2YO/AstriaGraph data the paper's routing relies
   on);
 * ``latency`` — one-shot user-to-Internet latency query;
+* ``faults inject`` / ``faults sweep`` / ``faults replay`` — dynamic
+  fault injection: seeded failure schedules replayed in simulated time
+  with recovery metrics (time-to-reroute, MTTR, rerouted vs dropped);
 * ``obs summarize`` — render a previously captured telemetry file.
 
 Every experiment subcommand accepts ``--trace PATH`` (full JSONL
@@ -247,6 +250,125 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_recovery_rows(rows) -> None:
+    header = ("mtbf_h faults absorbed rerouted dropped availability "
+              "reroute_s mttr_s")
+    print(header)
+    for row in rows:
+        mttr = row["observed_mttr_s"]
+        mttr_text = f"{mttr:8.1f}" if mttr == mttr else "      --"
+        print(f"{row['mtbf_h']:>6.2f} {row['faults_injected']:>6} "
+              f"{row['faults_absorbed']:>8} {row['flows_rerouted']:>8} "
+              f"{row['flows_dropped']:>7} {row['mean_availability']:>12.4f} "
+              f"{row['mean_time_to_reroute_s']:>9.1f} {mttr_text}")
+
+
+def _print_recovery_summary(summary: dict) -> None:
+    mttr = summary["observed_mttr_s"]
+    mttr_text = f"{mttr:.1f} s" if mttr == mttr else "--"
+    print(f"faults: {summary['faults_injected']} injected, "
+          f"{summary['faults_repaired']} repaired, "
+          f"{summary['faults_absorbed']} absorbed without user impact")
+    print(f"flows: {summary['flows_rerouted']} rerouted, "
+          f"{summary['flows_dropped']} dropped, "
+          f"{summary['flows_unrecovered']} never recovered")
+    print(f"availability: {summary['mean_availability']:.4f} "
+          f"(time-weighted, {summary['probes']} probes)")
+    print(f"mean time-to-reroute: {summary['mean_time_to_reroute_s']:.1f} s, "
+          f"mean restore: {summary['mean_restore_s']:.1f} s, "
+          f"observed MTTR: {mttr_text}")
+
+
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience_dynamic import dynamic_resilience_sweep
+
+    mttr = None if args.mttr < 0 else args.mttr
+    rows = dynamic_resilience_sweep(
+        mtbf_hours=tuple(args.mtbf_hours), mttr_s=mttr,
+        horizon_s=args.horizon, epochs=args.epochs, seed=args.seed,
+        reroute_delay_s=args.reroute_delay,
+    )
+    _print_recovery_rows(rows)
+    return 0
+
+
+def _cmd_faults_inject(args: argparse.Namespace) -> int:
+    from repro.core.interop import SizeClass, build_fleet
+    from repro.experiments.resilience_dynamic import (
+        _sample_users,
+        run_fault_scenario,
+    )
+    from repro.core.network import OpenSpaceNetwork
+    from repro.faults.schedule import (
+        combine,
+        ground_station_outage_schedule,
+        satellite_mtbf_schedule,
+    )
+    from repro.ground.station import default_station_network
+    from repro.orbits.walker import iridium_like
+
+    stations = default_station_network()
+    fleet = build_fleet(iridium_like(), "faults", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, stations)
+    mttr = None if args.mttr < 0 else args.mttr
+    schedule = satellite_mtbf_schedule(
+        [spec.satellite_id for spec in fleet], args.horizon,
+        mtbf_s=args.mtbf_hours * 3600.0, mttr_s=mttr, seed=args.seed,
+    )
+    if args.station_mtbf_hours is not None:
+        schedule = combine(schedule, ground_station_outage_schedule(
+            [station.station_id for station in stations], args.horizon,
+            mtbf_s=args.station_mtbf_hours * 3600.0, mttr_s=mttr,
+            seed=args.seed + 1,
+        ))
+    if args.schedule_out:
+        schedule.save(args.schedule_out)
+        print(f"wrote {args.schedule_out} ({len(schedule)} fault events)")
+    for event in sorted(schedule, key=lambda e: (e.start_s, e.fault_id)):
+        print(f"t={event.start_s:9.1f}  {event.kind.value:<14} "
+              f"{','.join(event.targets)}  "
+              f"{'permanent' if event.end_s is None else f'until {event.end_s:.1f} s'}")
+    result = run_fault_scenario(network, schedule, _sample_users(),
+                                horizon_s=args.horizon, epochs=args.epochs,
+                                reroute_delay_s=args.reroute_delay)
+    _print_recovery_summary(result)
+    return 0
+
+
+def _cmd_faults_replay(args: argparse.Namespace) -> int:
+    from repro.core.interop import SizeClass, build_fleet
+    from repro.experiments.resilience_dynamic import (
+        _sample_users,
+        run_fault_scenario,
+    )
+    from repro.core.network import OpenSpaceNetwork
+    from repro.faults.model import FaultSchedule
+    from repro.ground.station import default_station_network
+    from repro.orbits.walker import iridium_like
+
+    try:
+        schedule = FaultSchedule.load(args.schedule)
+    except FileNotFoundError:
+        print(f"no such schedule file: {args.schedule}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError) as exc:
+        print(f"malformed schedule file: {exc}", file=sys.stderr)
+        return 1
+    horizon = args.horizon if args.horizon is not None else schedule.horizon_s
+    if horizon <= 0.0:
+        print("schedule has no horizon; pass --horizon", file=sys.stderr)
+        return 1
+    network = OpenSpaceNetwork(build_fleet(iridium_like(), "faults",
+                                           SizeClass.MEDIUM),
+                               default_station_network())
+    result = run_fault_scenario(network, schedule, _sample_users(),
+                                horizon_s=horizon, epochs=args.epochs,
+                                reroute_delay_s=args.reroute_delay)
+    print(f"replayed {len(schedule)} fault events over {horizon:.0f} s")
+    _print_recovery_summary(result)
+    return 0
+
+
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs.export import summarize_file
 
@@ -333,6 +455,55 @@ def build_parser() -> argparse.ArgumentParser:
     plat.add_argument("--mask", type=float, default=10.0,
                       help="user elevation mask, degrees")
     plat.set_defaults(func=_cmd_latency)
+
+    pfl = sub.add_parser("faults",
+                         help="dynamic fault injection and recovery")
+    faults_sub = pfl.add_subparsers(dest="faults_command", required=True)
+
+    def _faults_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--epochs", type=int, default=6,
+                            help="periodic availability probes")
+        parser.add_argument("--reroute-delay", type=float, default=15.0,
+                            help="control-plane reconvergence charge, s")
+
+    pfs = faults_sub.add_parser(
+        "sweep", parents=[obs_flags],
+        help="recovery metrics vs failure intensity (MTBF sweep)")
+    pfs.add_argument("--mtbf-hours", type=float, nargs="+",
+                     default=[1.0, 3.0, 12.0],
+                     help="per-satellite MTBF points, hours")
+    pfs.add_argument("--mttr", type=float, default=900.0,
+                     help="mean time to repair, s (negative = permanent)")
+    pfs.add_argument("--horizon", type=float, default=7200.0)
+    pfs.add_argument("--seed", type=int, default=43)
+    _faults_common(pfs)
+    pfs.set_defaults(func=_cmd_faults_sweep)
+
+    pfi = faults_sub.add_parser(
+        "inject", parents=[obs_flags],
+        help="generate one fault schedule, run it, report recovery")
+    pfi.add_argument("--mtbf-hours", type=float, default=2.0,
+                     help="per-satellite MTBF, hours")
+    pfi.add_argument("--station-mtbf-hours", type=float, default=None,
+                     help="also inject gateway outages at this MTBF")
+    pfi.add_argument("--mttr", type=float, default=600.0,
+                     help="mean time to repair, s (negative = permanent)")
+    pfi.add_argument("--horizon", type=float, default=3600.0)
+    pfi.add_argument("--seed", type=int, default=43)
+    pfi.add_argument("--schedule-out", metavar="PATH", default=None,
+                     help="write the generated schedule as JSON")
+    _faults_common(pfi)
+    pfi.set_defaults(func=_cmd_faults_inject)
+
+    pfr = faults_sub.add_parser(
+        "replay", parents=[obs_flags],
+        help="replay a JSON fault schedule and report recovery")
+    pfr.add_argument("schedule", help="JSON file from `faults inject "
+                     "--schedule-out` (or hand-written)")
+    pfr.add_argument("--horizon", type=float, default=None,
+                     help="override the schedule's horizon, s")
+    _faults_common(pfr)
+    pfr.set_defaults(func=_cmd_faults_replay)
 
     pobs = sub.add_parser("obs", help="inspect captured telemetry")
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)

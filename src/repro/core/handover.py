@@ -25,8 +25,8 @@ the handover ablation benchmark.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs as _obs
 from repro.orbits.contact import ContactWindow
@@ -99,6 +99,61 @@ class PassTimeline:
         if not self.events:
             return 0.0
         return self.total_interruption_s / len(self.events)
+
+
+def mask_contact_windows(
+    windows: Sequence[ContactWindow],
+    outages: Sequence[Tuple[int, float, float]],
+) -> List[ContactWindow]:
+    """Subtract satellite outage intervals from a contact schedule.
+
+    Fault injection invalidates the proactive successor plan: a satellite
+    that is down during (part of) its pass cannot serve, so its window is
+    clipped or split around each outage. Re-running the
+    :class:`HandoverSimulator` on the masked schedule is how handover
+    re-selection reacts to faults — successors that disappeared force
+    extra handovers or coverage gaps.
+
+    Args:
+        windows: The original contact schedule.
+        outages: ``(satellite_index, start_s, end_s)`` outage intervals;
+            an ``end_s`` of ``float("inf")`` models a permanent loss.
+
+    Returns:
+        The surviving (sub-)windows, sorted by start time. Peak elevation
+        is inherited from the parent window (a conservative bound; the
+        true peak of a clipped window may be lower).
+    """
+    by_satellite: Dict[int, List[Tuple[float, float]]] = {}
+    for satellite_index, start_s, end_s in outages:
+        if end_s < start_s:
+            raise ValueError(
+                f"outage ends at {end_s} before it starts at {start_s}"
+            )
+        by_satellite.setdefault(satellite_index, []).append((start_s, end_s))
+
+    masked: List[ContactWindow] = []
+    for window in windows:
+        pieces = [(window.start_s, window.end_s)]
+        for outage_start, outage_end in by_satellite.get(
+                window.satellite_index, ()):
+            next_pieces: List[Tuple[float, float]] = []
+            for piece_start, piece_end in pieces:
+                if outage_end <= piece_start or outage_start >= piece_end:
+                    next_pieces.append((piece_start, piece_end))
+                    continue
+                if outage_start > piece_start:
+                    next_pieces.append((piece_start, outage_start))
+                if outage_end < piece_end:
+                    next_pieces.append((outage_end, piece_end))
+            pieces = next_pieces
+        for piece_start, piece_end in pieces:
+            if piece_end - piece_start <= 0.0:
+                continue
+            masked.append(replace(window, start_s=piece_start,
+                                  end_s=piece_end))
+    masked.sort(key=lambda w: (w.start_s, w.satellite_index))
+    return masked
 
 
 class HandoverSimulator:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -117,6 +117,12 @@ class OpenSpaceNetwork:
         self._spec_by_id = {
             spec.satellite_id: spec for spec in self.satellites
         }
+        self._station_by_id = {
+            station.station_id: station for station in self.ground_stations
+        }
+        self._failed_satellites: frozenset = frozenset()
+        self._failed_stations: frozenset = frozenset()
+        self._failed_links: frozenset = frozenset()
 
     @classmethod
     def from_federation(cls, federation: Federation,
@@ -127,6 +133,63 @@ class OpenSpaceNetwork:
             ground_stations=federation.all_ground_stations(),
             **kwargs,
         )
+
+    # -- fault state ---------------------------------------------------
+    # The repro.faults injector drives these; snapshot() consults them so
+    # failed elements vanish from the graph exactly as if the network had
+    # been built from the surviving fleet alone (degree slots included).
+
+    def set_fault_state(self, failed_satellites: Sequence[str] = (),
+                        failed_stations: Sequence[str] = (),
+                        failed_links: Sequence[Tuple[str, str]] = ()) -> None:
+        """Replace the set of currently failed elements.
+
+        Args:
+            failed_satellites: Satellite ids excluded from every snapshot.
+            failed_stations: Ground-station ids excluded likewise.
+            failed_links: Satellite-id pairs whose ISL (if built) is
+                severed; order within a pair does not matter.
+
+        Raises:
+            ValueError: For ids this network has never heard of — the
+                injector filters unknown targets, so an unknown id here
+                is a caller bug worth failing loudly on.
+        """
+        unknown = [s for s in failed_satellites if s not in self._spec_by_id]
+        unknown += [s for s in failed_stations if s not in self._station_by_id]
+        for node_a, node_b in failed_links:
+            unknown += [n for n in (node_a, node_b)
+                        if n not in self._spec_by_id]
+        if unknown:
+            raise ValueError(f"unknown elements in fault state: {unknown}")
+        self._failed_satellites = frozenset(failed_satellites)
+        self._failed_stations = frozenset(failed_stations)
+        self._failed_links = frozenset(
+            tuple(sorted(pair)) for pair in failed_links
+        )
+
+    def clear_fault_state(self) -> None:
+        """Restore every element to service."""
+        self._failed_satellites = frozenset()
+        self._failed_stations = frozenset()
+        self._failed_links = frozenset()
+
+    @property
+    def failed_satellites(self) -> frozenset:
+        return self._failed_satellites
+
+    @property
+    def failed_stations(self) -> frozenset:
+        return self._failed_stations
+
+    @property
+    def failed_links(self) -> frozenset:
+        return self._failed_links
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self._failed_satellites or self._failed_stations
+                    or self._failed_links)
 
     def satellite_positions(self, time_s: float) -> Dict[str, np.ndarray]:
         """ECI position of every satellite at ``time_s``."""
@@ -179,20 +242,36 @@ class OpenSpaceNetwork:
         station connects to every satellite above its elevation mask whose
         ground link closes; each user connects to every satellite above
         the user's mask (capacity from the user terminal's budget).
+
+        Elements named in the current fault state (see
+        :meth:`set_fault_state`) are excluded: failed satellites never
+        enter the ISL build, failed stations take no node, and failed
+        links lose their edge even when geometry would close it.
         """
         positions = self.satellite_positions(time_s)
-        isl_snap = self._builder.snapshot(time_s, positions)
+        isl_snap = self._builder.snapshot(
+            time_s, positions, exclude=self._failed_satellites or None
+        )
         graph = isl_snap.graph.copy()
-        for spec in self.satellites:
+        alive = [
+            spec for spec in self.satellites
+            if spec.satellite_id not in self._failed_satellites
+        ]
+        for spec in alive:
             graph.nodes[spec.satellite_id]["kind"] = "satellite"
             graph.nodes[spec.satellite_id]["owner"] = spec.owner
+        for node_a, node_b in self._failed_links:
+            if graph.has_edge(node_a, node_b):
+                graph.remove_edge(node_a, node_b)
 
         for station in self.ground_stations:
+            if station.station_id in self._failed_stations:
+                continue
             station_pos = station.position_eci(time_s)
             graph.add_node(
                 station.station_id, kind="ground_station", owner=station.owner
             )
-            for spec in self.satellites:
+            for spec in alive:
                 attrs = self._ground_edge(
                     spec, positions[spec.satellite_id], station, station_pos
                 )
@@ -203,7 +282,7 @@ class OpenSpaceNetwork:
             user_pos = user.position_eci(time_s)
             graph.add_node(user.user_id, kind="user", owner=user.home_provider)
             mask_rad = math.radians(user.min_elevation_deg)
-            for spec in self.satellites:
+            for spec in alive:
                 sat_pos = positions[spec.satellite_id]
                 if elevation_angle(user_pos, sat_pos) < mask_rad:
                     continue

@@ -17,6 +17,10 @@ from repro.experiments.availability import (
     availability_sweep,
     resilience_sweep,
 )
+from repro.experiments.resilience_dynamic import (
+    dynamic_resilience_sweep,
+    run_fault_scenario,
+)
 from repro.experiments.sensitivity import (
     coverage_altitude_sensitivity,
     coverage_mask_sensitivity,
@@ -47,6 +51,8 @@ __all__ = [
     "latency_site_sensitivity",
     "availability_sweep",
     "resilience_sweep",
+    "dynamic_resilience_sweep",
+    "run_fault_scenario",
     "figure_2b_to_csv",
     "rows_to_csv",
 ]

@@ -100,13 +100,28 @@ def resilience_sweep(failure_fractions: Sequence[float] = (
     availability at the sample sites shows how much failure the margin
     absorbs before service collapses.
 
+    This is the *static* mode of the :mod:`repro.faults` machinery: each
+    fraction becomes one permanent, correlated satellite outage applied
+    at t=0 through a :class:`~repro.faults.inject.FaultInjector`, so the
+    network under test is the full fleet with a fault mask rather than a
+    pre-pruned copy.  The failed-index draws are unchanged from the
+    original implementation, so seeded results carry over exactly.  For
+    failures arriving *during* the run (with repair), see
+    :func:`repro.experiments.resilience_dynamic.dynamic_resilience_sweep`.
+
     Returns:
         Rows of ``{"failed_fraction", "surviving", "mean_availability"}``.
     """
+    from repro.faults.inject import FaultInjector
+    from repro.faults.schedule import satellite_outage_event
+
+    if epochs < 1:
+        raise ValueError(f"need at least one epoch, got {epochs}")
     rng = np.random.default_rng(seed)
     stations = default_station_network()
     constellation = iridium_like()
     full_fleet = build_fleet(constellation, "resil", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(full_fleet, stations)
     times = np.linspace(0.0, 7200.0, epochs, endpoint=False)
     rows = []
     for fraction in failure_fractions:
@@ -118,11 +133,14 @@ def resilience_sweep(failure_fractions: Sequence[float] = (
         failed = set(
             rng.choice(len(full_fleet), size=failed_count, replace=False)
         ) if failed_count else set()
-        surviving = [
-            spec for index, spec in enumerate(full_fleet)
-            if index not in failed
-        ]
-        network = OpenSpaceNetwork(surviving, stations)
+        network.clear_fault_state()
+        injector = FaultInjector(network)
+        if failed:
+            injector.apply(satellite_outage_event(
+                [full_fleet[int(index)].satellite_id
+                 for index in sorted(failed)],
+                fault_id=f"static-loss-{fraction:g}",
+            ))
         values = []
         for name, site in SAMPLE_SITES:
             user = UserTerminal(f"u-{name}", site, "resil",
@@ -130,7 +148,8 @@ def resilience_sweep(failure_fractions: Sequence[float] = (
             values.append(_service_availability(network, user, times))
         rows.append({
             "failed_fraction": fraction,
-            "surviving": len(surviving),
+            "surviving": len(full_fleet) - len(failed),
             "mean_availability": float(np.mean(values)),
         })
+    network.clear_fault_state()
     return rows

@@ -1,0 +1,325 @@
+"""Recovery metrics: what fault injection did to service.
+
+The :class:`RecoveryTracker` consumes two streams the fault runner
+produces — periodic availability probes and fault-edge probes taken right
+after each fail/repair transition — and turns them into the paper-facing
+recovery numbers: availability timelines, time-to-reroute, observed MTTR,
+and the rerouted/dropped split for flows whose path a fault severed.
+
+Everything is also mirrored into :mod:`repro.obs` counters and histograms
+when a recorder is active, so ``--trace`` captures each fault lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs as _obs
+from repro.faults.model import FaultEvent
+
+#: Histogram buckets for recovery durations (1 s .. 2 h of sim time).
+RECOVERY_BUCKETS_S: Tuple[float, ...] = (
+    1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0,
+)
+
+
+@dataclass
+class OutageRecord:
+    """One user's loss-of-service episode attributed to a fault.
+
+    Attributes:
+        user_id: The affected user.
+        fault_id: The fault that severed the serving path.
+        start_s: When service was lost.
+        recovered_s: When service returned (None while still out).
+        rerouted: True when the network healed around the fault (service
+            returned while the fault was still active); False when only
+            the repair itself restored service.
+    """
+
+    user_id: str
+    fault_id: str
+    start_s: float
+    recovered_s: Optional[float] = None
+    rerouted: bool = False
+
+    @property
+    def open(self) -> bool:
+        return self.recovered_s is None
+
+    def duration_s(self, horizon_s: float) -> float:
+        """Outage length, charging open outages up to the horizon."""
+        end = self.recovered_s if self.recovered_s is not None else horizon_s
+        return max(0.0, end - self.start_s)
+
+
+@dataclass
+class AvailabilityTimeline:
+    """Hold-last-sample availability state for one user.
+
+    Attributes:
+        user_id: The user being tracked.
+        samples: ``(time_s, available)`` state changes, time-ordered.
+    """
+
+    user_id: str
+    samples: List[Tuple[float, bool]] = field(default_factory=list)
+
+    def record(self, time_s: float, available: bool) -> None:
+        """Record a state observation, keeping samples time-sorted.
+
+        Out-of-order inserts are allowed (a reroute's forced recovery mark
+        lands in the future of the transition that created it); at equal
+        times the last writer wins.
+        """
+        pos = len(self.samples)
+        while pos > 0 and self.samples[pos - 1][0] > time_s:
+            pos -= 1
+        if pos > 0 and self.samples[pos - 1][0] == time_s:
+            self.samples[pos - 1] = (time_s, available)
+            return
+        self.samples.insert(pos, (time_s, available))
+
+    def availability(self, start_s: float, end_s: float) -> float:
+        """Time-weighted available fraction over ``[start_s, end_s]``.
+
+        State before the first sample counts as unavailable; each sample's
+        state holds until the next.
+        """
+        if end_s <= start_s:
+            raise ValueError(f"end {end_s} must be after start {start_s}")
+        if not self.samples:
+            return 0.0
+        total = 0.0
+        for (time_a, state), (time_b, _next_state) in zip(
+                self.samples, self.samples[1:] + [(end_s, False)]):
+            lo = max(start_s, time_a)
+            hi = min(end_s, time_b)
+            if hi > lo and state:
+                total += hi - lo
+        return total / (end_s - start_s)
+
+
+@dataclass
+class FaultImpact:
+    """Aggregate impact of one fault event.
+
+    Attributes:
+        fault_id: The fault.
+        applied_s: When it was injected.
+        repaired_s: When it was repaired (None for permanent / unhealed).
+        elements_failed: Elements it actually took down.
+        elements_skipped: Targets that were already absent (quarantined
+            or unknown) when it fired.
+        users_affected: Monitored users whose serving path it severed.
+    """
+
+    fault_id: str
+    applied_s: float
+    repaired_s: Optional[float] = None
+    elements_failed: int = 0
+    elements_skipped: int = 0
+    users_affected: int = 0
+
+
+class RecoveryTracker:
+    """Builds recovery metrics from probe and fault-transition streams.
+
+    Args:
+        reroute_delay_s: Control-plane reconvergence cost charged when a
+            severed flow has an alternate path: proactive tables are
+            invalid the instant a fault lands, so even an instantly
+            reroutable flow is down for one recomputation interval (the
+            route-stability ablation's ~15 s refresh epoch by default).
+        horizon_s: Simulated period end, used to close open outages in
+            the summary.
+    """
+
+    def __init__(self, reroute_delay_s: float = 15.0,
+                 horizon_s: float = 7200.0):
+        if reroute_delay_s < 0.0:
+            raise ValueError(
+                f"reroute delay must be >= 0, got {reroute_delay_s}"
+            )
+        self.reroute_delay_s = reroute_delay_s
+        self.horizon_s = horizon_s
+        self.timelines: Dict[str, AvailabilityTimeline] = {}
+        self.outages: List[OutageRecord] = []
+        self.impacts: Dict[str, FaultImpact] = {}
+        self._last_path: Dict[str, Optional[List[str]]] = {}
+        self._open_outage: Dict[str, OutageRecord] = {}
+        self._active_faults: Set[str] = set()
+        self.probe_count = 0
+
+    # -- probe stream --------------------------------------------------
+
+    def _timeline(self, user_id: str) -> AvailabilityTimeline:
+        if user_id not in self.timelines:
+            self.timelines[user_id] = AvailabilityTimeline(user_id)
+        return self.timelines[user_id]
+
+    def record_probe(self, time_s: float, user_id: str,
+                     path: Optional[Sequence[str]]) -> None:
+        """Record one availability probe (path None = no service)."""
+        self.probe_count += 1
+        available = path is not None
+        open_outage = self._open_outage.get(user_id)
+        if open_outage is not None and available:
+            open_outage.recovered_s = time_s
+            # Recovered while the causing fault is still active means the
+            # network healed around it rather than waiting for repair.
+            open_outage.rerouted = open_outage.fault_id in self._active_faults
+            del self._open_outage[user_id]
+            self._record_recovery(open_outage)
+        self._timeline(user_id).record(time_s, available)
+        self._last_path[user_id] = list(path) if path is not None else None
+
+    def probe_after_fault(self, time_s: float, event: FaultEvent,
+                          failed_nodes: Set[str],
+                          failed_edges: Set[Tuple[str, str]],
+                          user_id: str,
+                          path: Optional[Sequence[str]]) -> None:
+        """Classify one user's fate right after a fault transition.
+
+        Three outcomes for a user served before the fault:
+
+        * path untouched — nothing happens;
+        * path severed but an alternate exists — *rerouted*: charged one
+          ``reroute_delay_s`` of outage (control-plane reconvergence);
+        * path severed and no alternate — *dropped*: an open outage that
+          closes at the next probe that finds service (typically repair).
+        """
+        previous = self._last_path.get(user_id)
+        impact = self.impacts.get(event.fault_id)
+        if previous is None or user_id in self._open_outage:
+            # Was not served (or already out): plain probe semantics.
+            self.record_probe(time_s, user_id, path)
+            return
+        severed = bool(failed_nodes.intersection(previous))
+        if not severed and failed_edges:
+            hops = set()
+            for hop_a, hop_b in zip(previous, previous[1:]):
+                hops.add((hop_a, hop_b) if hop_a < hop_b else (hop_b, hop_a))
+            severed = bool(failed_edges.intersection(hops))
+        if not severed:
+            self.record_probe(time_s, user_id, path)
+            return
+        if impact is not None:
+            impact.users_affected += 1
+        timeline = self._timeline(user_id)
+        if path is not None:
+            # Alternate path exists: down only for the reconvergence window.
+            outage = OutageRecord(
+                user_id=user_id, fault_id=event.fault_id, start_s=time_s,
+                recovered_s=time_s + self.reroute_delay_s, rerouted=True,
+            )
+            timeline.record(time_s, False)
+            timeline.record(time_s + self.reroute_delay_s, True)
+            self._record_recovery(outage)
+            self._last_path[user_id] = list(path)
+        else:
+            outage = OutageRecord(
+                user_id=user_id, fault_id=event.fault_id, start_s=time_s,
+            )
+            timeline.record(time_s, False)
+            self._open_outage[user_id] = outage
+            self._last_path[user_id] = None
+        self.outages.append(outage)
+
+    def _record_recovery(self, outage: OutageRecord) -> None:
+        recorder = _obs.active()
+        if recorder.enabled and outage.recovered_s is not None:
+            duration = outage.recovered_s - outage.start_s
+            label = "rerouted" if outage.rerouted else "repaired"
+            recorder.observe("faults.restore_s", duration, label=label,
+                             buckets=RECOVERY_BUCKETS_S)
+            if outage.rerouted:
+                recorder.observe("faults.time_to_reroute_s", duration,
+                                 buckets=RECOVERY_BUCKETS_S)
+
+    # -- fault-edge stream ---------------------------------------------
+
+    def on_fault_applied(self, time_s: float, event: FaultEvent,
+                         elements_failed: int,
+                         elements_skipped: int) -> None:
+        self._active_faults.add(event.fault_id)
+        self.impacts[event.fault_id] = FaultImpact(
+            fault_id=event.fault_id, applied_s=time_s,
+            elements_failed=elements_failed,
+            elements_skipped=elements_skipped,
+        )
+
+    def on_fault_repaired(self, time_s: float, event: FaultEvent) -> None:
+        self._active_faults.discard(event.fault_id)
+        impact = self.impacts.get(event.fault_id)
+        if impact is not None and impact.repaired_s is None:
+            impact.repaired_s = time_s
+            recorder = _obs.active()
+            if recorder.enabled:
+                recorder.observe("faults.outage_s",
+                                 time_s - impact.applied_s,
+                                 label=event.kind.value,
+                                 buckets=RECOVERY_BUCKETS_S)
+
+    # -- aggregates ----------------------------------------------------
+
+    def mean_availability(self, start_s: float = 0.0,
+                          end_s: Optional[float] = None) -> float:
+        """Mean time-weighted availability across monitored users."""
+        end = self.horizon_s if end_s is None else end_s
+        if not self.timelines:
+            return float("nan")
+        values = [
+            timeline.availability(start_s, end)
+            for timeline in self.timelines.values()
+        ]
+        return sum(values) / len(values)
+
+    def observed_mttr_s(self) -> float:
+        """Mean realized repair time over healed faults (NaN when none)."""
+        healed = [
+            impact.repaired_s - impact.applied_s
+            for impact in self.impacts.values()
+            if impact.repaired_s is not None
+        ]
+        if not healed:
+            return float("nan")
+        return sum(healed) / len(healed)
+
+    def summary(self) -> Dict:
+        """The standard recovery-metric row for one run."""
+        rerouted = [o for o in self.outages if o.rerouted]
+        dropped = [o for o in self.outages if not o.rerouted]
+        unrecovered = [o for o in self.outages if o.open]
+        restore_times = [
+            o.recovered_s - o.start_s for o in self.outages if not o.open
+        ]
+        reroute_times = [
+            o.recovered_s - o.start_s for o in rerouted if not o.open
+        ]
+        affected = sum(
+            1 for impact in self.impacts.values() if impact.users_affected
+        )
+        return {
+            "faults_injected": len(self.impacts),
+            "faults_repaired": sum(
+                1 for i in self.impacts.values() if i.repaired_s is not None
+            ),
+            "faults_user_affecting": affected,
+            "faults_absorbed": len(self.impacts) - affected,
+            "flows_rerouted": len(rerouted),
+            "flows_dropped": len(dropped),
+            "flows_unrecovered": len(unrecovered),
+            "mean_availability": self.mean_availability(),
+            "mean_restore_s": (
+                sum(restore_times) / len(restore_times)
+                if restore_times else 0.0
+            ),
+            "mean_time_to_reroute_s": (
+                sum(reroute_times) / len(reroute_times)
+                if reroute_times else 0.0
+            ),
+            "observed_mttr_s": self.observed_mttr_s(),
+            "probes": self.probe_count,
+        }

@@ -1,0 +1,239 @@
+"""Seeded fault-schedule generators.
+
+Every generator draws from a caller-supplied seed (or numpy Generator) and
+iterates element ids in their given order, so the same seed always yields
+the same schedule — the property the CLI's byte-identical-output guarantee
+rests on.
+
+Failure processes follow the classic renewal model: exponential
+time-to-failure with mean MTBF, exponential time-to-repair with mean MTTR
+(``mttr_s=None`` makes every failure permanent, ``mttr_s=0`` makes repair
+instantaneous — the degenerate modes the static resilience sweep and its
+no-outage control are built from).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.faults.model import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    combine,
+    link_target,
+)
+
+RngLike = Union[int, np.random.Generator]
+
+
+def _rng_of(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _renewal_events(element_id: str, kind: FaultKind, horizon_s: float,
+                    mtbf_s: float, mttr_s: Optional[float],
+                    rng: np.random.Generator, prefix: str,
+                    cause: str) -> List[FaultEvent]:
+    """Failure/repair renewal process for one element over the horizon."""
+    if mtbf_s <= 0.0:
+        raise ValueError(f"MTBF must be positive, got {mtbf_s}")
+    if mttr_s is not None and mttr_s < 0.0:
+        raise ValueError(f"MTTR must be >= 0 or None, got {mttr_s}")
+    events: List[FaultEvent] = []
+    clock = float(rng.exponential(mtbf_s))
+    index = 0
+    while clock < horizon_s:
+        if mttr_s is None:
+            duration: Optional[float] = None
+        elif mttr_s == 0.0:
+            duration = 0.0
+        else:
+            duration = float(rng.exponential(mttr_s))
+        events.append(FaultEvent(
+            fault_id=f"{prefix}-{element_id}-{index}",
+            kind=kind,
+            targets=(element_id,),
+            start_s=clock,
+            duration_s=duration,
+            cause=cause,
+        ))
+        if duration is None:
+            break  # Permanently down; no further failures possible.
+        clock += duration + float(rng.exponential(mtbf_s))
+        index += 1
+    return events
+
+
+def satellite_mtbf_schedule(satellite_ids: Sequence[str], horizon_s: float,
+                            mtbf_s: float, mttr_s: Optional[float],
+                            seed: RngLike = 0) -> FaultSchedule:
+    """Independent per-satellite failures with MTBF/MTTR draws."""
+    rng = _rng_of(seed)
+    events: List[FaultEvent] = []
+    for sat_id in satellite_ids:
+        events.extend(_renewal_events(
+            sat_id, FaultKind.SATELLITE, horizon_s, mtbf_s, mttr_s, rng,
+            prefix="mtbf", cause="mtbf",
+        ))
+    return FaultSchedule(events=events, horizon_s=horizon_s)
+
+
+def ground_station_outage_schedule(station_ids: Sequence[str],
+                                   horizon_s: float, mtbf_s: float,
+                                   mttr_s: Optional[float],
+                                   seed: RngLike = 0) -> FaultSchedule:
+    """Independent gateway outages (backhaul cuts, weather, maintenance)."""
+    rng = _rng_of(seed)
+    events: List[FaultEvent] = []
+    for station_id in station_ids:
+        events.extend(_renewal_events(
+            station_id, FaultKind.GROUND_STATION, horizon_s, mtbf_s,
+            mttr_s, rng, prefix="gs-outage", cause="ground-outage",
+        ))
+    return FaultSchedule(events=events, horizon_s=horizon_s)
+
+
+def link_flap_schedule(links: Sequence[Tuple[str, str]], horizon_s: float,
+                       mtbf_s: float, mttr_s: Optional[float],
+                       seed: RngLike = 0) -> FaultSchedule:
+    """Short ISL flaps (pointing loss, interference) on specific links."""
+    rng = _rng_of(seed)
+    events: List[FaultEvent] = []
+    for node_a, node_b in links:
+        target = link_target(node_a, node_b)
+        events.extend(_renewal_events(
+            target, FaultKind.ISL_LINK, horizon_s, mtbf_s, mttr_s, rng,
+            prefix="flap", cause="link-flap",
+        ))
+    return FaultSchedule(events=events, horizon_s=horizon_s)
+
+
+def plane_members(fleet) -> Dict[float, List[str]]:
+    """Group a fleet's satellite ids by orbital plane (shared RAAN).
+
+    Args:
+        fleet: :class:`~repro.core.interop.SpacecraftSpec` sequence.
+
+    Returns:
+        Mapping of RAAN (radians, rounded to ~µrad so float noise cannot
+        split a plane) to the member satellite ids, in fleet order.
+    """
+    planes: Dict[float, List[str]] = {}
+    for spec in fleet:
+        key = round(spec.elements.raan_rad, 6)
+        planes.setdefault(key, []).append(spec.satellite_id)
+    return planes
+
+
+def plane_loss_event(fleet, plane_index: int, start_s: float,
+                     duration_s: Optional[float] = None,
+                     fault_id: Optional[str] = None) -> FaultEvent:
+    """Correlated loss of one whole orbital plane.
+
+    The launch-dispenser / plane-level-bus failure mode: every satellite
+    sharing the plane's RAAN fails and recovers together.
+
+    Args:
+        fleet: The spacecraft specs the plane is resolved against.
+        plane_index: Index into the RAAN-sorted plane list.
+        start_s: Failure onset.
+        duration_s: Outage length (None = permanent).
+        fault_id: Override the generated id.
+    """
+    planes = plane_members(fleet)
+    keys = sorted(planes)
+    if not 0 <= plane_index < len(keys):
+        raise ValueError(
+            f"plane index {plane_index} out of range; fleet has "
+            f"{len(keys)} planes"
+        )
+    return FaultEvent(
+        fault_id=fault_id or f"plane-loss-{plane_index}",
+        kind=FaultKind.PLANE,
+        targets=tuple(planes[keys[plane_index]]),
+        start_s=start_s,
+        duration_s=duration_s,
+        cause="plane-loss",
+    )
+
+
+def provider_withdrawal_event(provider: str, start_s: float,
+                              duration_s: Optional[float] = None,
+                              fault_id: Optional[str] = None) -> FaultEvent:
+    """A provider pulls its whole fleet out of the federation.
+
+    The multi-operator failure mode unique to OpenSpace: bankruptcy,
+    regulatory cutoff, or a voluntary withdrawal takes every satellite
+    the provider owns. The injector expands the provider name against
+    the live fleet's ``owner`` fields at apply time.
+    """
+    return FaultEvent(
+        fault_id=fault_id or f"withdrawal-{provider}",
+        kind=FaultKind.PROVIDER,
+        targets=(provider,),
+        start_s=start_s,
+        duration_s=duration_s,
+        cause="provider-withdrawal",
+    )
+
+
+def satellite_outage_event(satellite_ids: Sequence[str], start_s: float = 0.0,
+                           duration_s: Optional[float] = None,
+                           fault_id: str = "static-loss",
+                           cause: str = "static") -> FaultEvent:
+    """One correlated outage of an explicit satellite set.
+
+    The static resilience sweep uses this with ``start_s=0`` and no
+    repair, reproducing the original delete-a-fraction-up-front
+    methodology through the dynamic machinery.
+    """
+    return FaultEvent(
+        fault_id=fault_id,
+        kind=FaultKind.SATELLITE,
+        targets=tuple(satellite_ids),
+        start_s=start_s,
+        duration_s=duration_s,
+        cause=cause,
+    )
+
+
+def fraction_loss_schedule(satellite_ids: Sequence[str], fraction: float,
+                           seed: RngLike = 0, start_s: float = 0.0,
+                           duration_s: Optional[float] = None) -> FaultSchedule:
+    """Fail a random fraction of the fleet as one correlated event.
+
+    Draws ``round(fraction * n)`` distinct indices with
+    ``rng.choice(n, size, replace=False)`` — the same draw the original
+    static ``resilience_sweep`` made, so seeded results carry over.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"failure fraction must be in [0, 1), got {fraction}")
+    rng = _rng_of(seed)
+    count = int(round(fraction * len(satellite_ids)))
+    events: List[FaultEvent] = []
+    if count:
+        indices = rng.choice(len(satellite_ids), size=count, replace=False)
+        chosen = [satellite_ids[int(i)] for i in sorted(indices)]
+        events.append(satellite_outage_event(
+            chosen, start_s=start_s, duration_s=duration_s,
+            fault_id=f"fraction-loss-{fraction:g}",
+        ))
+    return FaultSchedule(events=events, horizon_s=start_s)
+
+
+__all__ = [
+    "satellite_mtbf_schedule",
+    "ground_station_outage_schedule",
+    "link_flap_schedule",
+    "plane_members",
+    "plane_loss_event",
+    "provider_withdrawal_event",
+    "satellite_outage_event",
+    "fraction_loss_schedule",
+    "combine",
+]

@@ -94,7 +94,8 @@ class IslTopologyBuilder:
         return self._by_id[node_id]
 
     def snapshot(self, time_s: float,
-                 positions: Dict[str, np.ndarray]) -> TopologySnapshot:
+                 positions: Dict[str, np.ndarray],
+                 exclude: Optional[Sequence[str]] = None) -> TopologySnapshot:
         """Build the ISL graph for one instant.
 
         Candidate pairs are sorted nearest-first and accepted greedily while
@@ -104,19 +105,26 @@ class IslTopologyBuilder:
 
         Args:
             time_s: Snapshot timestamp (stored on the result).
-            positions: ECI position per node id; every node must appear.
+            positions: ECI position per node id; every participating node
+                must appear.
+            exclude: Node ids to leave out entirely (failed satellites):
+                they take no graph node, no candidate pair, and no degree
+                slot, so the result is identical to building from the
+                surviving fleet alone.
         """
-        missing = [n.node_id for n in self.nodes if n.node_id not in positions]
+        excluded = frozenset(exclude or ())
+        nodes = [n for n in self.nodes if n.node_id not in excluded]
+        missing = [n.node_id for n in nodes if n.node_id not in positions]
         if missing:
             raise ValueError(f"positions missing for nodes: {missing}")
         graph = nx.Graph()
-        for node in self.nodes:
+        for node in nodes:
             graph.add_node(node.node_id, owner=node.owner)
 
         candidates: List[tuple] = []
-        for i, node_a in enumerate(self.nodes):
+        for i, node_a in enumerate(nodes):
             pos_a = positions[node_a.node_id]
-            for node_b in self.nodes[i + 1:]:
+            for node_b in nodes[i + 1:]:
                 pos_b = positions[node_b.node_id]
                 distance = slant_range(pos_a, pos_b)
                 if distance > self.max_range_km:
@@ -127,7 +135,7 @@ class IslTopologyBuilder:
                 candidates.append((distance, node_a, node_b))
         candidates.sort(key=lambda item: item[0])
 
-        degree: Dict[str, int] = {node.node_id: 0 for node in self.nodes}
+        degree: Dict[str, int] = {node.node_id: 0 for node in nodes}
         for distance, node_a, node_b in candidates:
             if degree[node_a.node_id] >= node_a.max_degree:
                 continue

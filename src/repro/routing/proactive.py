@@ -172,6 +172,41 @@ class ProactiveRouter:
                 self.table.add_epoch(snap.time_s, epoch_routes)
         return self.table
 
+    def invalidate_routes_through(self, elements: Sequence[str],
+                                  from_time_s: float = 0.0) -> int:
+        """Drop precomputed routes that traverse any failed element.
+
+        Called by the fault injector when satellites or stations go down:
+        every static route whose path crosses an affected node, in the
+        epoch covering ``from_time_s`` and every later epoch, is removed
+        so lookups miss and callers fall back to live recomputation.
+        Routes that already avoided the element stay valid — repair needs
+        no invalidation (stale-but-working routes heal at the next
+        precompute).
+
+        Returns:
+            The number of routes dropped.
+        """
+        affected = set(elements)
+        if not affected or not self.table.epochs_s:
+            return 0
+        start = bisect.bisect_right(self.table.epochs_s, from_time_s) - 1
+        start = max(0, start)
+        dropped = 0
+        for index in range(start, len(self.table.routes)):
+            epoch = self.table.routes[index]
+            doomed = [
+                key for key, route in epoch.items()
+                if affected.intersection(route.path)
+            ]
+            for key in doomed:
+                del epoch[key]
+            dropped += len(doomed)
+        recorder = _obs.active()
+        if recorder.enabled and dropped:
+            recorder.count("routing.proactive.invalidated", dropped)
+        return dropped
+
     def route(self, source: str, target: str,
               time_s: float) -> Optional[StaticRoute]:
         """Look up the precomputed route for a pair at a time."""

@@ -8,6 +8,7 @@ from repro.core.handover import (
     HandoverScheme,
     HandoverSimulator,
     STARLINK_HANDOVER_INTERVAL_S,
+    mask_contact_windows,
 )
 from repro.ground.user import UserTerminal
 from repro.orbits.contact import ContactWindow
@@ -190,3 +191,61 @@ class TestHandover:
     def test_rejects_bad_interval(self):
         with pytest.raises(ValueError):
             HandoverSimulator().run([], HandoverScheme.PREDICTIVE, 10.0, 10.0)
+
+
+class TestMaskContactWindows:
+    def test_no_outages_identity(self):
+        windows = [ContactWindow(0, 0.0, 100.0, 1.0)]
+        assert mask_contact_windows(windows, []) == windows
+
+    def test_outage_clips_window_head(self):
+        windows = [ContactWindow(0, 0.0, 100.0, 1.0)]
+        masked = mask_contact_windows(windows, [(0, 0.0, 40.0)])
+        assert [(w.start_s, w.end_s) for w in masked] == [(40.0, 100.0)]
+
+    def test_outage_splits_window(self):
+        windows = [ContactWindow(0, 0.0, 100.0, 1.0)]
+        masked = mask_contact_windows(windows, [(0, 30.0, 60.0)])
+        assert [(w.start_s, w.end_s) for w in masked] == [
+            (0.0, 30.0), (60.0, 100.0)
+        ]
+        assert all(w.satellite_index == 0 for w in masked)
+        assert all(w.max_elevation_rad == 1.0 for w in masked)
+
+    def test_covering_outage_removes_window(self):
+        windows = [ContactWindow(0, 10.0, 90.0, 1.0)]
+        assert mask_contact_windows(windows, [(0, 0.0, 100.0)]) == []
+
+    def test_permanent_loss_truncates_everything_after(self):
+        windows = [
+            ContactWindow(0, 0.0, 100.0, 1.0),
+            ContactWindow(0, 200.0, 300.0, 1.0),
+        ]
+        masked = mask_contact_windows(windows, [(0, 50.0, float("inf"))])
+        assert [(w.start_s, w.end_s) for w in masked] == [(0.0, 50.0)]
+
+    def test_outage_only_hits_its_satellite(self):
+        windows = [
+            ContactWindow(0, 0.0, 100.0, 1.0),
+            ContactWindow(1, 0.0, 100.0, 1.0),
+        ]
+        masked = mask_contact_windows(windows, [(0, 0.0, 200.0)])
+        assert [w.satellite_index for w in masked] == [1]
+
+    def test_rejects_inverted_outage(self):
+        with pytest.raises(ValueError):
+            mask_contact_windows([], [(0, 50.0, 40.0)])
+
+    def test_masked_schedule_forces_extra_handover(self):
+        # Losing the serving satellite mid-pass forces re-selection onto
+        # the overlapping successor.
+        windows = [
+            ContactWindow(0, 0.0, 300.0, 1.0),
+            ContactWindow(1, 100.0, 400.0, 1.0),
+        ]
+        sim = HandoverSimulator()
+        baseline = sim.run(windows, HandoverScheme.PREDICTIVE, 0.0, 400.0)
+        masked = mask_contact_windows(windows, [(0, 150.0, 400.0)])
+        rerun = sim.run(masked, HandoverScheme.PREDICTIVE, 0.0, 400.0)
+        assert rerun.availability <= baseline.availability
+        assert rerun.events[-1].to_satellite == 1

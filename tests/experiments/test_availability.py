@@ -62,3 +62,31 @@ class TestResilienceSweep:
     def test_fraction_validation(self):
         with pytest.raises(ValueError):
             resilience_sweep(failure_fractions=(1.0,), epochs=2)
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            resilience_sweep(failure_fractions=(0.0,), epochs=0)
+
+
+class TestSweepDeterminism:
+    def test_availability_sweep_same_seed_same_rows(self):
+        first = availability_sweep(fleet_sizes=(12,), epochs=2, seed=37,
+                                   include_structured=False)
+        second = availability_sweep(fleet_sizes=(12,), epochs=2, seed=37,
+                                    include_structured=False)
+        assert first == second
+
+    def test_resilience_sweep_same_seed_same_rows(self):
+        first = resilience_sweep(failure_fractions=(0.0, 0.3), epochs=2,
+                                 seed=41)
+        second = resilience_sweep(failure_fractions=(0.0, 0.3), epochs=2,
+                                  seed=41)
+        assert first == second
+
+    def test_resilience_sweep_seed_changes_draw(self):
+        first = resilience_sweep(failure_fractions=(0.5,), epochs=2,
+                                 seed=41)
+        second = resilience_sweep(failure_fractions=(0.5,), epochs=2,
+                                  seed=42)
+        # Same survivor count, but a different random half of the fleet.
+        assert first[0]["surviving"] == second[0]["surviving"]

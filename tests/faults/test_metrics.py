@@ -1,0 +1,159 @@
+"""Tests for the recovery-metrics layer."""
+
+import math
+
+import pytest
+
+from repro.faults.metrics import (
+    AvailabilityTimeline,
+    OutageRecord,
+    RecoveryTracker,
+)
+from repro.faults.model import FaultEvent, FaultKind
+
+
+def _fault(fault_id="f1", targets=("sat-a",), start_s=100.0,
+           duration_s=600.0):
+    return FaultEvent(fault_id=fault_id, kind=FaultKind.SATELLITE,
+                      targets=targets, start_s=start_s,
+                      duration_s=duration_s)
+
+
+class TestAvailabilityTimeline:
+    def test_hold_last_sample(self):
+        timeline = AvailabilityTimeline("u")
+        timeline.record(0.0, True)
+        timeline.record(50.0, False)
+        timeline.record(75.0, True)
+        assert timeline.availability(0.0, 100.0) == pytest.approx(0.75)
+
+    def test_before_first_sample_counts_unavailable(self):
+        timeline = AvailabilityTimeline("u")
+        timeline.record(50.0, True)
+        assert timeline.availability(0.0, 100.0) == pytest.approx(0.5)
+
+    def test_empty_timeline_is_zero(self):
+        assert AvailabilityTimeline("u").availability(0.0, 10.0) == 0.0
+
+    def test_out_of_order_insert(self):
+        timeline = AvailabilityTimeline("u")
+        timeline.record(0.0, True)
+        timeline.record(90.0, True)  # future recovery mark
+        timeline.record(40.0, False)
+        assert [t for t, _ in timeline.samples] == [0.0, 40.0, 90.0]
+        assert timeline.availability(0.0, 100.0) == pytest.approx(0.5)
+
+    def test_equal_time_last_writer_wins(self):
+        timeline = AvailabilityTimeline("u")
+        timeline.record(10.0, True)
+        timeline.record(10.0, False)
+        assert timeline.samples == [(10.0, False)]
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            AvailabilityTimeline("u").availability(5.0, 5.0)
+
+
+class TestOutageRecord:
+    def test_open_duration_charged_to_horizon(self):
+        outage = OutageRecord("u", "f", start_s=100.0)
+        assert outage.open
+        assert outage.duration_s(700.0) == 600.0
+
+    def test_closed_duration(self):
+        outage = OutageRecord("u", "f", start_s=100.0, recovered_s=130.0)
+        assert not outage.open
+        assert outage.duration_s(700.0) == 30.0
+
+
+class TestRecoveryTracker:
+    def test_rejects_negative_reroute_delay(self):
+        with pytest.raises(ValueError):
+            RecoveryTracker(reroute_delay_s=-1.0)
+
+    def test_untouched_user_not_charged(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", ["sat-x", "gs-1"])
+        event = _fault(targets=("sat-other",))
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, {"sat-other"}, set(), "u",
+                                  ["sat-x", "gs-1"])
+        assert tracker.outages == []
+        assert tracker.summary()["faults_absorbed"] == 1
+
+    def test_severed_with_alternate_is_rerouted(self):
+        tracker = RecoveryTracker(reroute_delay_s=15.0, horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", ["sat-a", "gs-1"])
+        event = _fault()
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, {"sat-a"}, set(), "u",
+                                  ["sat-b", "gs-1"])
+        summary = tracker.summary()
+        assert summary["flows_rerouted"] == 1
+        assert summary["flows_dropped"] == 0
+        assert summary["mean_time_to_reroute_s"] == pytest.approx(15.0)
+        # 15 s down out of 1000 s.
+        assert summary["mean_availability"] == pytest.approx(0.985)
+
+    def test_severed_without_alternate_is_dropped(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", ["sat-a", "gs-1"])
+        event = _fault()
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, {"sat-a"}, set(), "u", None)
+        summary = tracker.summary()
+        assert summary["flows_dropped"] == 1
+        assert summary["flows_unrecovered"] == 1
+
+    def test_dropped_flow_recovers_at_repair_probe(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", ["sat-a", "gs-1"])
+        event = _fault(start_s=100.0, duration_s=200.0)
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, {"sat-a"}, set(), "u", None)
+        tracker.on_fault_repaired(300.0, event)
+        tracker.record_probe(300.0, "u", ["sat-a", "gs-1"])
+        summary = tracker.summary()
+        assert summary["flows_dropped"] == 1
+        assert summary["flows_unrecovered"] == 0
+        assert summary["mean_restore_s"] == pytest.approx(200.0)
+        assert summary["observed_mttr_s"] == pytest.approx(200.0)
+        # Recovery arrived only with the repair: not a reroute.
+        assert tracker.outages[0].rerouted is False
+
+    def test_recovery_while_fault_active_counts_as_reroute(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", ["sat-a", "gs-1"])
+        event = _fault(start_s=100.0, duration_s=600.0)
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, {"sat-a"}, set(), "u", None)
+        # Later probe finds service while the fault is still active.
+        tracker.record_probe(160.0, "u", ["sat-b", "gs-2"])
+        assert tracker.outages[0].rerouted is True
+
+    def test_link_severing_checked_on_edges(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", ["sat-b", "sat-a", "gs-1"])
+        event = FaultEvent(fault_id="link", kind=FaultKind.ISL_LINK,
+                           targets=("sat-a|sat-b",), start_s=100.0,
+                           duration_s=60.0)
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, set(), {("sat-a", "sat-b")},
+                                  "u", ["sat-c", "gs-1"])
+        assert tracker.summary()["flows_rerouted"] == 1
+
+    def test_mttr_nan_when_nothing_repaired(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        event = _fault(duration_s=None)
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        assert math.isnan(tracker.observed_mttr_s())
+        summary = tracker.summary()
+        assert summary["faults_repaired"] == 0
+
+    def test_unserved_user_never_severed(self):
+        tracker = RecoveryTracker(horizon_s=1000.0)
+        tracker.record_probe(0.0, "u", None)  # never had service
+        event = _fault()
+        tracker.on_fault_applied(100.0, event, 1, 0)
+        tracker.probe_after_fault(100.0, event, {"sat-a"}, set(), "u", None)
+        assert tracker.outages == []

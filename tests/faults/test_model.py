@@ -1,0 +1,167 @@
+"""Tests for the fault-schedule model."""
+
+import pytest
+
+from repro.faults.model import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    combine,
+    link_target,
+    parse_link_target,
+    validate_against,
+)
+
+
+def _event(fault_id="f1", start_s=10.0, duration_s=5.0, **kwargs):
+    defaults = dict(kind=FaultKind.SATELLITE, targets=("sat-a-0",))
+    defaults.update(kwargs)
+    return FaultEvent(fault_id=fault_id, start_s=start_s,
+                      duration_s=duration_s, **defaults)
+
+
+class TestFaultEvent:
+    def test_end_time(self):
+        assert _event(start_s=10.0, duration_s=5.0).end_s == 15.0
+
+    def test_permanent_has_no_end(self):
+        event = _event(duration_s=None)
+        assert event.permanent
+        assert event.end_s is None
+
+    def test_rejects_empty_targets(self):
+        with pytest.raises(ValueError):
+            _event(targets=())
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            _event(start_s=-1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            _event(duration_s=-0.5)
+
+    def test_rejects_malformed_link_target(self):
+        with pytest.raises(ValueError):
+            _event(kind=FaultKind.ISL_LINK, targets=("not-a-link",))
+
+    def test_dict_round_trip(self):
+        event = _event(cause="mtbf")
+        assert FaultEvent.from_dict(event.as_dict()) == event
+
+    def test_dict_round_trip_permanent(self):
+        event = _event(duration_s=None)
+        assert FaultEvent.from_dict(event.as_dict()) == event
+
+
+class TestLinkTargets:
+    def test_canonical_order(self):
+        assert link_target("sat-b", "sat-a") == "sat-a|sat-b"
+
+    def test_round_trip(self):
+        assert parse_link_target(link_target("x", "y")) == ("x", "y")
+
+    def test_rejects_pipe_in_id(self):
+        with pytest.raises(ValueError):
+            link_target("a|b", "c")
+
+
+class TestFaultSchedule:
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(events=[_event("dup"), _event("dup")])
+
+    def test_transitions_ordered_and_paired(self):
+        schedule = FaultSchedule(events=[
+            _event("late", start_s=50.0, duration_s=10.0),
+            _event("early", start_s=10.0, duration_s=100.0),
+        ])
+        edges = [(tr.time_s, tr.phase, tr.event.fault_id)
+                 for tr in schedule.transitions()]
+        assert edges == [
+            (10.0, "fail", "early"),
+            (50.0, "fail", "late"),
+            (60.0, "repair", "late"),
+            (110.0, "repair", "early"),
+        ]
+
+    def test_zero_mttr_fail_precedes_repair(self):
+        schedule = FaultSchedule(events=[_event("z", start_s=5.0,
+                                                duration_s=0.0)])
+        phases = [tr.phase for tr in schedule.transitions()]
+        assert phases == ["fail", "repair"]
+
+    def test_permanent_fault_never_repairs(self):
+        schedule = FaultSchedule(events=[_event("p", duration_s=None)])
+        assert [tr.phase for tr in schedule.transitions()] == ["fail"]
+
+    def test_simultaneous_transitions_sorted_by_id(self):
+        schedule = FaultSchedule(events=[
+            _event("b", start_s=5.0, duration_s=None),
+            _event("a", start_s=5.0, duration_s=None),
+        ])
+        ids = [tr.event.fault_id for tr in schedule.transitions()]
+        assert ids == ["a", "b"]
+
+    def test_json_round_trip(self):
+        schedule = FaultSchedule(events=[
+            _event("f1"),
+            _event("f2", duration_s=None, kind=FaultKind.PROVIDER,
+                   targets=("acme",)),
+        ], horizon_s=3600.0)
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored.horizon_s == 3600.0
+        assert restored.events == schedule.events
+
+    def test_json_is_deterministic(self):
+        schedule = FaultSchedule(events=[_event("f1")], horizon_s=60.0)
+        assert schedule.to_json() == schedule.to_json()
+
+    def test_save_load(self, tmp_path):
+        schedule = FaultSchedule(events=[_event("f1")], horizon_s=60.0)
+        path = tmp_path / "sched.json"
+        schedule.save(str(path))
+        assert FaultSchedule.load(str(path)).events == schedule.events
+
+    def test_combine_merges(self):
+        merged = combine(
+            FaultSchedule(events=[_event("a")], horizon_s=100.0),
+            FaultSchedule(events=[_event("b")], horizon_s=200.0),
+        )
+        assert len(merged) == 2
+        assert merged.horizon_s == 200.0
+
+    def test_combine_rejects_id_clash(self):
+        with pytest.raises(ValueError):
+            combine(FaultSchedule(events=[_event("a")]),
+                    FaultSchedule(events=[_event("a")]))
+
+    def test_shifted(self):
+        shifted = FaultSchedule(events=[_event("a", start_s=10.0)],
+                                horizon_s=100.0).shifted(5.0)
+        assert shifted.events[0].start_s == 15.0
+        assert shifted.horizon_s == 105.0
+
+
+class TestValidateAgainst:
+    def test_flags_unknown_targets(self):
+        schedule = FaultSchedule(events=[
+            _event("known", targets=("sat-a-0",)),
+            _event("ghost", targets=("sat-ghost",)),
+        ])
+        unknown = validate_against(schedule, satellite_ids=["sat-a-0"])
+        assert unknown == ["sat-ghost"]
+
+    def test_provider_checked_against_owners(self):
+        schedule = FaultSchedule(events=[
+            _event("w", kind=FaultKind.PROVIDER, targets=("nobody",)),
+        ])
+        assert validate_against(schedule, satellite_ids=[],
+                                providers=["acme"]) == ["nobody"]
+
+    def test_link_endpoints_checked(self):
+        schedule = FaultSchedule(events=[
+            _event("l", kind=FaultKind.ISL_LINK, targets=("sat-a|sat-z",)),
+        ])
+        assert validate_against(schedule,
+                                satellite_ids=["sat-a"]) == ["sat-z"]

@@ -117,3 +117,40 @@ class TestPrecompute:
         router = ProactiveRouter()
         table = router.precompute([snap])
         assert table.lookup("a", "island", 0.0) is None
+
+
+class TestInvalidation:
+    def test_routes_through_failed_node_dropped(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        dropped = router.invalidate_routes_through(["b"], from_time_s=0.0)
+        assert dropped > 0
+        # Every surviving a->c route avoids b.
+        assert router.route("a", "c", 10.0) is None  # only a-b-c existed
+        mid = router.route("a", "c", 70.0)
+        assert mid is not None and "b" not in mid.path
+
+    def test_earlier_epochs_untouched(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        router.invalidate_routes_through(["b"], from_time_s=60.0)
+        # The epoch before the fault keeps its routes.
+        assert router.route("a", "c", 10.0) is not None
+        assert router.route("a", "c", 130.0) is None
+
+    def test_unaffected_routes_survive(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        router.invalidate_routes_through(["b"], from_time_s=0.0)
+        mid = router.route("a", "c", 70.0)
+        assert mid.path == ["a", "c"]
+
+    def test_empty_elements_noop(self, snapshots):
+        router = ProactiveRouter()
+        router.precompute(snapshots)
+        before = router.table.route_count
+        assert router.invalidate_routes_through([], from_time_s=0.0) == 0
+        assert router.table.route_count == before
+
+    def test_empty_table_noop(self):
+        assert ProactiveRouter().invalidate_routes_through(["a"]) == 0

@@ -154,6 +154,68 @@ class TestAvailabilityCommand:
         assert "resilience to failures" in out
 
 
+class TestFaultsCommands:
+    QUICK_SWEEP = ["faults", "sweep", "--mtbf-hours", "2", "--mttr", "600",
+                   "--horizon", "1200", "--epochs", "2", "--seed", "7"]
+
+    def test_sweep_prints_recovery_table(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "mtbf_h" in out
+        assert "availability" in out
+
+    def test_sweep_same_seed_byte_identical(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        first = capsys.readouterr().out
+        assert main(self.QUICK_SWEEP) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_requires_faults_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["faults"])
+
+    def test_inject_schedule_out_then_replay(self, tmp_path, capsys):
+        out_file = tmp_path / "schedule.json"
+        assert main(["faults", "inject", "--mtbf-hours", "1",
+                     "--mttr", "300", "--horizon", "1200",
+                     "--epochs", "2", "--seed", "7",
+                     "--schedule-out", str(out_file)]) == 0
+        inject_out = capsys.readouterr().out
+        assert "faults:" in inject_out
+        assert out_file.exists()
+        assert main(["faults", "replay", str(out_file),
+                     "--epochs", "2"]) == 0
+        replay_out = capsys.readouterr().out
+        assert "replayed" in replay_out
+        # Same schedule, same network: identical recovery summary.
+        summary = inject_out[inject_out.index("faults:"):]
+        assert replay_out[replay_out.index("faults:"):] == summary
+
+    def test_replay_missing_file(self, capsys, tmp_path):
+        assert main(["faults", "replay",
+                     str(tmp_path / "nope.json")]) == 1
+        assert "no such schedule file" in capsys.readouterr().err
+
+    def test_replay_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["faults", "replay", str(bad)]) == 1
+        assert "malformed schedule" in capsys.readouterr().err
+
+    def test_sweep_trace_records_fault_lifecycle(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        trace = tmp_path / "faults.jsonl"
+        assert main(self.QUICK_SWEEP + ["--trace", str(trace)]) == 0
+        records = read_jsonl(trace)
+        span_names = {
+            record["name"] for record in records
+            if record["type"] == "span"
+        }
+        assert "faults.apply" in span_names
+        assert "experiment.resilience_dynamic.sweep" in span_names
+
+
 class TestReportCommand:
     def test_writes_markdown_report(self, tmp_path, capsys):
         output = tmp_path / "RESULTS.md"
