@@ -14,6 +14,8 @@ reproduction without writing any code:
 * ``faults inject`` / ``faults sweep`` / ``faults replay`` — dynamic
   fault injection: seeded failure schedules replayed in simulated time
   with recovery metrics (time-to-reroute, MTTR, rerouted vs dropped);
+* ``reliability sweep`` — control-plane reliability: auth success and
+  association-latency inflation under lossy signaling and ISL flaps;
 * ``obs summarize`` — render a previously captured telemetry file.
 
 Every experiment subcommand accepts ``--trace PATH`` (full JSONL
@@ -369,6 +371,32 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reliability_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.reliability import reliability_sweep
+
+    mttr = None if args.mttr < 0 else args.mttr
+    rows = reliability_sweep(
+        loss_rates=tuple(args.loss), flap_mtbf_hours=tuple(args.mtbf_hours),
+        horizon_s=args.horizon, probes=args.probes, seed=args.seed,
+        mttr_s=mttr, flap_fraction=args.flap_fraction,
+        max_attempts=args.max_attempts, timeout_s=args.timeout,
+    )
+    print("loss mtbf_h auth_ok baseline_ok attempts inflation "
+          "degraded breaker_opens exch_fail")
+    for row in rows:
+        inflation = row["latency_inflation"]
+        inflation_text = (f"{inflation:9.3f}" if inflation == inflation
+                          else "       --")
+        print(f"{row['loss']:>4.2f} {row['flap_mtbf_h']:>6.2f} "
+              f"{row['auth_success_rate']:>7.3f} "
+              f"{row['baseline_success_rate']:>11.3f} "
+              f"{row['mean_attempts']:>8.2f} {inflation_text} "
+              f"{row['degraded_associations']:>8} "
+              f"{row['breaker_opens']:>13} "
+              f"{row['exchange_failures']:>9}")
+    return 0
+
+
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs.export import summarize_file
 
@@ -504,6 +532,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the schedule's horizon, s")
     _faults_common(pfr)
     pfr.set_defaults(func=_cmd_faults_replay)
+
+    prel = sub.add_parser("reliability",
+                          help="control-plane reliability under lossy "
+                               "signaling")
+    rel_sub = prel.add_subparsers(dest="reliability_command", required=True)
+    prs = rel_sub.add_parser(
+        "sweep", parents=[obs_flags],
+        help="auth success & latency inflation vs loss rate x flap MTBF")
+    prs.add_argument("--loss", type=float, nargs="+",
+                     default=[0.0, 0.05, 0.2],
+                     help="per-hop control-frame loss rates")
+    prs.add_argument("--mtbf-hours", type=float, nargs="+",
+                     default=[0.0, 0.5],
+                     help="ISL flap MTBF points, hours (0 = no faults)")
+    prs.add_argument("--mttr", type=float, default=240.0,
+                     help="flap repair time, s (negative = permanent)")
+    prs.add_argument("--horizon", type=float, default=1800.0)
+    prs.add_argument("--probes", type=int, default=4,
+                     help="association probes per grid point")
+    prs.add_argument("--flap-fraction", type=float, default=0.25,
+                     help="fraction of the ISL set that flaps")
+    prs.add_argument("--max-attempts", type=int, default=4,
+                     help="auth retransmission bound")
+    prs.add_argument("--timeout", type=float, default=0.5,
+                     help="per-attempt auth timeout, s")
+    prs.add_argument("--seed", type=int, default=11)
+    prs.set_defaults(func=_cmd_reliability_sweep)
 
     pobs = sub.add_parser("obs", help="inspect captured telemetry")
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)

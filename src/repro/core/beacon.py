@@ -131,6 +131,20 @@ class BeaconEvaluator:
         ranked = self.rank(receiver_position_eci, time_s)
         return ranked[0][1] if ranked else None
 
+    def best_candidates(self, receiver_position_eci: np.ndarray,
+                        time_s: float, limit: int = 3) -> List[Beacon]:
+        """The ``limit`` closest usable satellites, nearest first.
+
+        Association under a lossy control plane tries these in order: when
+        the nearest satellite's auth exchange keeps timing out (or its
+        circuit breaker is open), the next candidate is a degraded but
+        serviceable fallback.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        ranked = self.rank(receiver_position_eci, time_s)
+        return [beacon for _range, beacon in ranked[:limit]]
+
 
 def beacon_reception_delay_s(distance_km: float) -> float:
     """One-way beacon propagation delay."""

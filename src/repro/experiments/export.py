@@ -10,6 +10,8 @@ import csv
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
+from repro.obs.export import atomic_write
+
 
 def rows_to_csv(rows: Sequence[Dict], path: Union[str, Path],
                 columns: Sequence[str] = None) -> int:
@@ -36,7 +38,7 @@ def rows_to_csv(rows: Sequence[Dict], path: Union[str, Path],
             for key in row:
                 if key not in columns:
                     columns.append(key)
-    with open(path, "w", newline="") as handle:
+    with atomic_write(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=list(columns),
                                 extrasaction="ignore")
         writer.writeheader()

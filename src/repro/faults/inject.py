@@ -43,12 +43,18 @@ class FaultInjector:
         router: Optional :class:`~repro.routing.proactive.ProactiveRouter`
             whose precomputed routes are invalidated when elements they
             traverse fail.
+        channel: Optional
+            :class:`~repro.reliability.channel.LossyControlChannel`
+            notified (via ``on_fault_state_changed``) whenever the fault
+            masks move, so cached path-delivery models go stale exactly
+            when the network does.
     """
 
-    def __init__(self, network, tracker=None, router=None):
+    def __init__(self, network, tracker=None, router=None, channel=None):
         self.network = network
         self.tracker = tracker
         self.router = router
+        self.channel = channel
         self._known_satellites = {
             spec.satellite_id for spec in network.satellites
         }
@@ -92,6 +98,8 @@ class FaultInjector:
             failed_stations=sorted(self._down_stations),
             failed_links=sorted(self._down_links),
         )
+        if self.channel is not None:
+            self.channel.on_fault_state_changed()
         recorder = _obs.active()
         if recorder.enabled:
             recorder.gauge("faults.active", len(self._active))

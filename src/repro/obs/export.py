@@ -19,12 +19,41 @@ from __future__ import annotations
 import csv
 import hashlib
 import json
+import os
 import platform
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.obs import Recorder
+
+
+@contextmanager
+def atomic_write(path: Union[str, Path], newline: Optional[str] = None):
+    """Open ``path`` for writing via a temp file + atomic rename.
+
+    The destination is only ever replaced by a fully written file: a
+    crash (or any exception) mid-write leaves the previous contents
+    intact and removes the temp file.  The temp file lives next to the
+    destination so the final ``os.replace`` stays on one filesystem.
+    """
+    target = Path(path)
+    temp = target.with_name(target.name + ".tmp")
+    handle = open(temp, "w", newline=newline)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        try:
+            temp.unlink()
+        except OSError:
+            pass
+        raise
+    handle.close()
+    os.replace(temp, target)
 
 
 def config_hash(config: Dict) -> str:
@@ -79,7 +108,7 @@ def write_trace_jsonl(recorder: Recorder, path: Union[str, Path],
         Number of records written.
     """
     rows = trace_rows(recorder, manifest)
-    with open(path, "w") as handle:
+    with atomic_write(path) as handle:
         for row in rows:
             handle.write(json.dumps(row, sort_keys=True, default=str))
             handle.write("\n")
@@ -98,7 +127,7 @@ def write_metrics_csv(recorder: Recorder, path: Union[str, Path]) -> int:
     columns = ["type", "name", "label", "value", "count", "total", "mean",
                "min", "max", "p50", "p95", "p99", "calls", "total_s"]
     rows = recorder.metrics.rows() + recorder.profiler.rows()
-    with open(path, "w", newline="") as handle:
+    with atomic_write(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns,
                                 extrasaction="ignore")
         writer.writeheader()

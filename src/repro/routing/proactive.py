@@ -207,6 +207,25 @@ class ProactiveRouter:
             recorder.count("routing.proactive.invalidated", dropped)
         return dropped
 
+    def routes_from(self, source: str,
+                    time_s: float) -> Dict[str, StaticRoute]:
+        """A source node's slice of the contact plan at one instant.
+
+        This is the unit of contact-plan dissemination: the per-satellite
+        table a controller pushes over control links (see
+        :class:`~repro.reliability.policy.ResilientRouter`).  An empty
+        dict means the node has no precomputed routes in that epoch.
+        """
+        try:
+            index = self.table.epoch_index_at(time_s)
+        except LookupError:
+            return {}
+        return {
+            target: route
+            for (src, target), route in self.table.routes[index].items()
+            if src == source
+        }
+
     def route(self, source: str, target: str,
               time_s: float) -> Optional[StaticRoute]:
         """Look up the precomputed route for a pair at a time."""

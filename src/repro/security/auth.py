@@ -21,6 +21,12 @@ from repro.security.certificates import CertificateAuthority, RoamingCertificate
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        # zip() would silently truncate to the shorter input, corrupting
+        # the hidden password instead of surfacing the framing bug.
+        raise ValueError(
+            f"XOR operands must have equal length, got {len(a)} and {len(b)}"
+        )
     return bytes(x ^ y for x, y in zip(a, b))
 
 
@@ -112,8 +118,14 @@ class RadiusServer:
         self._secret = shared_secret
         self.authority = authority or CertificateAuthority(provider)
         self._credentials: Dict[str, bytes] = {}
+        # Response cache keyed by request authenticator: RFC 2865 §2.2
+        # duplicate detection.  A retransmitted Access-Request (same
+        # authenticator) replays the original verdict instead of minting
+        # a second certificate, so lossy-channel retries are idempotent.
+        self._responses: Dict[bytes, object] = {}
         self.accept_count = 0
         self.reject_count = 0
+        self.duplicate_count = 0
 
     def enroll(self, user_id: str, password: bytes) -> None:
         """Register a subscriber's credentials."""
@@ -144,8 +156,20 @@ class RadiusServer:
 
         Returns:
             :class:`AccessAccept` with a roaming certificate on success,
-            :class:`AccessReject` otherwise.
+            :class:`AccessReject` otherwise.  A retransmission of an
+            already-answered request (same authenticator) returns the
+            cached response without re-counting or re-issuing anything.
         """
+        cached = self._responses.get(request.authenticator)
+        if cached is not None:
+            self.duplicate_count += 1
+            return cached
+        response = self._handle_fresh(request, now_s, validity_s)
+        self._responses[request.authenticator] = response
+        return response
+
+    def _handle_fresh(self, request: AccessRequest, now_s: float,
+                      validity_s: float):
         if request.home_provider != self.provider:
             self.reject_count += 1
             return AccessReject(

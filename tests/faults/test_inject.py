@@ -163,6 +163,36 @@ class TestRouterInvalidation:
         assert calls == [(sorted(event.targets), 42.0)]
 
 
+class TestChannelNotification:
+    def test_apply_and_repair_bump_channel_epoch(self, small_network):
+        from repro.reliability.channel import LossyControlChannel
+
+        channel = LossyControlChannel(network=small_network)
+        injector = FaultInjector(small_network, channel=channel)
+        event = _sat_event(small_network, fault_id="epoch")
+        injector.apply(event)
+        assert channel.fault_epoch == 1
+        injector.repair(event)
+        assert channel.fault_epoch == 2
+
+    def test_channel_sees_masks_through_network(self, small_network):
+        from repro.reliability.channel import LossyControlChannel
+
+        channel = LossyControlChannel(network=small_network)
+        injector = FaultInjector(small_network, channel=channel)
+        graph = small_network.snapshot(0.0).graph
+        sat_id = next(spec.satellite_id for spec in small_network.satellites
+                      if graph.degree(spec.satellite_id) > 0)
+        event = satellite_outage_event([sat_id], fault_id="mask")
+        neighbor = next(iter(graph[sat_id]))
+        before = channel.hop_model(graph, sat_id, neighbor)
+        assert before.loss_probability < 1.0
+        injector.apply(event)
+        # Even over the stale pre-fault graph, the live masks sever it.
+        after = channel.hop_model(graph, sat_id, neighbor)
+        assert after.loss_probability == 1.0
+
+
 class TestNetworkFaultState:
     def test_set_fault_state_rejects_unknown_satellite(self, small_network):
         with pytest.raises(ValueError):

@@ -7,6 +7,7 @@ import pytest
 
 from repro import obs
 from repro.obs.export import (
+    atomic_write,
     config_hash,
     read_jsonl,
     run_manifest,
@@ -110,6 +111,61 @@ class TestJsonlRoundTrip:
         path.write_text("[1, 2]\n")
         with pytest.raises(ValueError, match="JSON object"):
             read_jsonl(path)
+
+
+class TestAtomicWrite:
+    def test_writes_through_temp_and_renames(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as handle:
+            handle.write("content")
+            # Mid-write, the destination must not exist yet.
+            assert not path.exists()
+        assert path.read_text() == "content"
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+
+    def test_failure_preserves_previous_contents(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("previous")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("simulated crash mid-write")
+        assert path.read_text() == "previous"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failure_with_no_previous_file_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("doomed")
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_export_is_atomic(self, recorder, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(recorder, path, run_manifest({}, seed=1))
+        before = path.read_text()
+
+        import json as json_module
+
+        def exploding_dumps(*_args, **_kwargs):
+            raise RuntimeError("serializer died")
+
+        monkeypatch.setattr(json_module, "dumps", exploding_dumps)
+        with pytest.raises(RuntimeError):
+            write_trace_jsonl(recorder, path, run_manifest({}, seed=1))
+        assert path.read_text() == before
+
+    def test_metrics_export_is_atomic(self, recorder, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(recorder, path)
+        before = path.read_text()
+        broken = obs.Recorder()
+        broken.metrics.rows = lambda: (_ for _ in ()).throw(
+            RuntimeError("rows died"))
+        with pytest.raises(RuntimeError):
+            write_metrics_csv(broken, path)
+        assert path.read_text() == before
 
 
 class TestCsv:

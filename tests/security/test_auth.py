@@ -8,6 +8,7 @@ from repro.security.auth import (
     RadiusServer,
     _hide_password,
     _reveal_password,
+    _xor_bytes,
 )
 
 
@@ -16,6 +17,20 @@ def server():
     s = RadiusServer("isp-home", b"shared-secret")
     s.enroll("alice", b"correct-horse")
     return s
+
+
+class TestXorBytes:
+    def test_equal_lengths_xor(self):
+        assert _xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_mismatched_lengths_raise(self):
+        # Regression: zip() used to silently truncate to the shorter
+        # operand, corrupting hidden passwords instead of failing loudly.
+        with pytest.raises(ValueError, match="equal length"):
+            _xor_bytes(b"\x00" * 16, b"\x00" * 15)
+
+    def test_empty_operands_allowed(self):
+        assert _xor_bytes(b"", b"") == b""
 
 
 class TestPasswordHiding:
@@ -111,3 +126,42 @@ class TestServer:
         r2 = server.make_request("alice", b"correct-horse", "sat-1")
         assert r1.authenticator != r2.authenticator
         assert r1.hidden_password != r2.hidden_password
+
+
+class TestDuplicateDetection:
+    """RFC 2865-style retransmission handling: replays are idempotent."""
+
+    def test_retransmission_returns_cached_response(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        first = server.handle(request, now_s=10.0)
+        replay = server.handle(request, now_s=11.0)
+        assert replay is first
+        assert server.duplicate_count == 1
+
+    def test_retransmission_does_not_double_count(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        for _ in range(4):
+            server.handle(request, now_s=10.0)
+        assert server.accept_count == 1
+
+    def test_retransmission_does_not_reissue_certificate(self, server):
+        request = server.make_request("alice", b"correct-horse", "sat-1")
+        first = server.handle(request, now_s=10.0)
+        replay = server.handle(request, now_s=99.0)
+        assert replay.certificate.serial == first.certificate.serial
+
+    def test_rejects_cached_too(self, server):
+        request = server.make_request("alice", b"wrong", "sat-1")
+        first = server.handle(request)
+        replay = server.handle(request)
+        assert isinstance(replay, AccessReject)
+        assert replay is first
+        assert server.reject_count == 1
+
+    def test_distinct_requests_not_deduplicated(self, server):
+        r1 = server.make_request("alice", b"correct-horse", "sat-1")
+        r2 = server.make_request("alice", b"correct-horse", "sat-1")
+        server.handle(r1)
+        server.handle(r2)
+        assert server.duplicate_count == 0
+        assert server.accept_count == 2

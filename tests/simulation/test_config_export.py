@@ -90,6 +90,20 @@ class TestCsvExport:
         rows_to_csv([{"x": 1, "y": 2}], path, columns=["y", "x"])
         assert path.read_text().splitlines()[0] == "y,x"
 
+    def test_crash_mid_export_preserves_previous_file(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([{"a": 1}], path)
+        before = path.read_text()
+
+        class Exploding(dict):
+            def get(self, *_args):
+                raise RuntimeError("row died mid-serialization")
+
+        with pytest.raises(RuntimeError):
+            rows_to_csv([{"a": 1}, Exploding(a=2)], path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
     def test_figure_2b_export(self, tmp_path):
         result = {
             "series": [{"x": 10, "mean": 40.0, "p50": 39.0, "p95": 60.0,

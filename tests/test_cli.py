@@ -216,6 +216,60 @@ class TestFaultsCommands:
         assert "experiment.resilience_dynamic.sweep" in span_names
 
 
+class TestReliabilityCommand:
+    QUICK_SWEEP = ["reliability", "sweep", "--loss", "0.0", "0.2",
+                   "--mtbf-hours", "0.0", "0.3", "--horizon", "600",
+                   "--probes", "2", "--seed", "7"]
+
+    def test_sweep_prints_reliability_table(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "auth_ok" in out
+        assert "inflation" in out
+        assert "breaker_opens" in out
+
+    def test_sweep_same_seed_byte_identical(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        first = capsys.readouterr().out
+        assert main(self.QUICK_SWEEP) == 0
+        assert capsys.readouterr().out == first
+
+    def test_zero_loss_rows_show_no_inflation(self, capsys):
+        assert main(["reliability", "sweep", "--loss", "0.0",
+                     "--mtbf-hours", "0.0", "--horizon", "300",
+                     "--probes", "1", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        row = out.strip().splitlines()[-1].split()
+        assert row[2] == row[3]  # auth_ok == baseline_ok
+        assert float(row[4]) == 1.0  # one attempt per association
+        assert float(row[5]) == 1.0  # no latency inflation
+
+    def test_requires_reliability_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["reliability"])
+
+    def test_sweep_trace_records_exchange_metrics(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        trace = tmp_path / "reliability.jsonl"
+        assert main(["reliability", "sweep", "--loss", "0.2",
+                     "--mtbf-hours", "0.0", "--horizon", "300",
+                     "--probes", "2", "--seed", "7",
+                     "--trace", str(trace)]) == 0
+        records = read_jsonl(trace)
+        span_names = {
+            record["name"] for record in records
+            if record["type"] == "span"
+        }
+        assert "experiment.reliability.sweep" in span_names
+        counter_names = {
+            record["name"] for record in records
+            if record["type"] == "counter"
+        }
+        assert "reliability.exchange.attempts" in counter_names
+        assert "reliability.channel.messages" in counter_names
+
+
 class TestReportCommand:
     def test_writes_markdown_report(self, tmp_path, capsys):
         output = tmp_path / "RESULTS.md"
