@@ -42,7 +42,6 @@ def test_fig2a_constellation(benchmark):
 
 def test_fig2a_sustained_over_time(benchmark):
     """The ISL fabric must stay connected as the constellation orbits."""
-    import networkx as nx
 
     def sustained():
         reports = [figure_2a_constellation(t) for t in (0.0, 1500.0, 3000.0)]

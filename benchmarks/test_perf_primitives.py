@@ -7,7 +7,6 @@ proactive route precomputation, coverage estimation, and whole-network
 snapshots.  Regressions here multiply directly into experiment wall-clock.
 """
 
-import numpy as np
 
 from repro import obs
 from repro.core.interop import SizeClass, build_fleet

@@ -52,7 +52,8 @@ def _cmd_figure2b(args: argparse.Namespace) -> int:
 
     counts = args.counts or [4, 10, 16, 25, 40, 55, 70]
     result = figure_2b_latency(satellite_counts=counts, trials=args.trials,
-                               epochs=args.epochs, seed=args.seed)
+                               epochs=args.epochs, seed=args.seed,
+                               jobs=args.jobs)
     series = {row["x"]: row for row in result["series"]}
     print("satellites reachability latency_mean_ms latency_p95_ms")
     for count in counts:
@@ -71,7 +72,7 @@ def _cmd_figure2c(args: argparse.Namespace) -> int:
 
     counts = args.counts or [1, 4, 12, 25, 50, 80]
     rows = figure_2c_coverage(satellite_counts=counts, trials=args.trials,
-                              seed=args.seed)
+                              seed=args.seed, jobs=args.jobs)
     print("satellites union worst_case cluster")
     for row in rows:
         print(f"{row['satellites']:>10.0f} {row['union']:>5.2f} "
@@ -80,35 +81,30 @@ def _cmd_figure2c(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    from repro.experiments.ablations import (
-        ablation_economics,
-        ablation_federation,
-        ablation_handover,
-        ablation_isl_mix,
-        ablation_mac,
-    )
+    from repro.experiments.ablations import run_all_ablations
 
+    results = run_all_ablations(jobs=args.jobs)
     print("== ISL mix ==")
-    for row in ablation_isl_mix():
+    for row in results["isl_mix"]:
         print(f"laser={row['laser_fraction']:.2f} "
               f"premium_admission={row['premium_admission']:.2f} "
               f"capex=${row['fleet_capex_musd']:.0f}M")
     print("== MAC ==")
-    for row in ablation_mac():
+    for row in results["mac"]:
         print(f"stations={row['stations']} "
               f"csma_delay={row['csma_delay_ms']:.0f}ms "
               f"tdma_delay={row['tdma_delay_ms']:.0f}ms")
     print("== Handover ==")
-    result = ablation_handover()
+    result = results["handover"]
     print(f"handovers={result['handover_count']} "
           f"predictive_outage={result['predictive']['total_interruption_s']:.2f}s "
           f"reauth_outage={result['reauthenticate']['total_interruption_s']:.2f}s")
     print("== Economics ==")
-    econ = ablation_economics()
+    econ = results["economics"]
     print(f"fraud caught {econ['mismatches_caught']}/{econ['fraud_injected']}, "
           f"peering: {econ['peering_recommended']}")
     print("== Federation ==")
-    for row in ablation_federation():
+    for row in results["federation"]:
         print(f"operators={row['operators']} "
               f"federated={row['federated_reachability']:.2f} "
               f"solo={row['solo_reachability']:.2f} "
@@ -288,7 +284,7 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     rows = dynamic_resilience_sweep(
         mtbf_hours=tuple(args.mtbf_hours), mttr_s=mttr,
         horizon_s=args.horizon, epochs=args.epochs, seed=args.seed,
-        reroute_delay_s=args.reroute_delay,
+        reroute_delay_s=args.reroute_delay, jobs=args.jobs,
     )
     _print_recovery_rows(rows)
     return 0
@@ -380,6 +376,7 @@ def _cmd_reliability_sweep(args: argparse.Namespace) -> int:
         horizon_s=args.horizon, probes=args.probes, seed=args.seed,
         mttr_s=mttr, flap_fraction=args.flap_fraction,
         max_attempts=args.max_attempts, timeout_s=args.timeout,
+        jobs=args.jobs,
     )
     print("loss mtbf_h auth_ok baseline_ok attempts inflation "
           "degraded breaker_opens exch_fail")
@@ -431,12 +428,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-time-events", action="store_true",
         help="also time every simulation-engine event (adds overhead)")
 
+    # Parallel-sweep flag, shared by every sweep-shaped subcommand.
+    # Results are byte-identical at any job count (see repro.parallel).
+    jobs_flags = argparse.ArgumentParser(add_help=False)
+    jobs_flags.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep grid (1 = serial; results "
+             "are identical for every value)")
+
     p2a = sub.add_parser("figure2a", parents=[obs_flags],
                          help="reference constellation report")
     p2a.add_argument("--time", type=float, default=0.0)
     p2a.set_defaults(func=_cmd_figure2a)
 
-    p2b = sub.add_parser("figure2b", parents=[obs_flags],
+    p2b = sub.add_parser("figure2b", parents=[obs_flags, jobs_flags],
                          help="latency vs satellite count")
     p2b.add_argument("--counts", type=int, nargs="*", default=None)
     p2b.add_argument("--trials", type=int, default=4)
@@ -444,14 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
     p2b.add_argument("--seed", type=int, default=42)
     p2b.set_defaults(func=_cmd_figure2b)
 
-    p2c = sub.add_parser("figure2c", parents=[obs_flags],
+    p2c = sub.add_parser("figure2c", parents=[obs_flags, jobs_flags],
                          help="coverage vs satellite count")
     p2c.add_argument("--counts", type=int, nargs="*", default=None)
     p2c.add_argument("--trials", type=int, default=6)
     p2c.add_argument("--seed", type=int, default=42)
     p2c.set_defaults(func=_cmd_figure2c)
 
-    pab = sub.add_parser("ablations", parents=[obs_flags],
+    pab = sub.add_parser("ablations", parents=[obs_flags, jobs_flags],
                          help="run every design ablation")
     pab.set_defaults(func=_cmd_ablations)
 
@@ -495,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="control-plane reconvergence charge, s")
 
     pfs = faults_sub.add_parser(
-        "sweep", parents=[obs_flags],
+        "sweep", parents=[obs_flags, jobs_flags],
         help="recovery metrics vs failure intensity (MTBF sweep)")
     pfs.add_argument("--mtbf-hours", type=float, nargs="+",
                      default=[1.0, 3.0, 12.0],
@@ -538,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "signaling")
     rel_sub = prel.add_subparsers(dest="reliability_command", required=True)
     prs = rel_sub.add_parser(
-        "sweep", parents=[obs_flags],
+        "sweep", parents=[obs_flags, jobs_flags],
         help="auth success & latency inflation vs loss rate x flap MTBF")
     prs.add_argument("--loss", type=float, nargs="+",
                      default=[0.0, 0.05, 0.2],

@@ -10,20 +10,22 @@ cover.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.federation import Federation
 from repro.core.interop import SpacecraftSpec
 from repro.ground.station import GroundStation
 from repro.ground.user import UserTerminal
 from repro.isl.topology import IslTopologyBuilder, TopologySnapshot
 from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
-from repro.orbits.kepler import KeplerPropagator
-from repro.orbits.visibility import elevation_angle, slant_range
+from repro.orbits.kepler import KeplerPropagator, batch_positions
+from repro.orbits.visibility import elevation_angles
 from repro.phy.modulation import achievable_rate_bps
 from repro.phy.rf import RFTerminal, rf_link_budget
 from repro.routing.metrics import (
@@ -93,15 +95,27 @@ class OpenSpaceNetwork:
         ground_elevation_mask_deg: Minimum elevation for ground links.
         gateway_dish_m: Station-side dish diameter used when deriving the
             station terminal matched to each satellite's ground band.
+        snapshot_cache_size: Maximum cached :meth:`snapshot` results
+            (LRU).  ``0`` disables caching entirely.
+        snapshot_cache_quantum_s: Time-bucket width for cache keys.  The
+            default ``0.0`` keys on the exact request time (a hit
+            requires the same instant); a positive quantum trades
+            sub-quantum staleness for hits across nearby times.
     """
 
     def __init__(self, satellites: Sequence[SpacecraftSpec],
                  ground_stations: Sequence[GroundStation] = (),
                  max_isl_range_km: float = 6000.0,
                  ground_elevation_mask_deg: float = 10.0,
-                 gateway_dish_m: float = 3.5):
+                 gateway_dish_m: float = 3.5,
+                 snapshot_cache_size: int = 64,
+                 snapshot_cache_quantum_s: float = 0.0):
         if not satellites:
             raise ValueError("need at least one satellite")
+        if snapshot_cache_size < 0:
+            raise ValueError(
+                f"cache size must be >= 0, got {snapshot_cache_size}"
+            )
         self.satellites = list(satellites)
         self.ground_stations = list(ground_stations)
         self.ground_elevation_mask_deg = ground_elevation_mask_deg
@@ -114,6 +128,7 @@ class OpenSpaceNetwork:
             spec.satellite_id: KeplerPropagator(spec.elements)
             for spec in self.satellites
         }
+        self._propagator_order = list(self._propagators.items())
         self._spec_by_id = {
             spec.satellite_id: spec for spec in self.satellites
         }
@@ -123,6 +138,12 @@ class OpenSpaceNetwork:
         self._failed_satellites: frozenset = frozenset()
         self._failed_stations: frozenset = frozenset()
         self._failed_links: frozenset = frozenset()
+        self.snapshot_cache_size = snapshot_cache_size
+        self.snapshot_cache_quantum_s = snapshot_cache_quantum_s
+        self._fault_epoch = 0
+        self._snapshot_cache: "OrderedDict[tuple, NetworkSnapshot]" = (
+            OrderedDict()
+        )
 
     @classmethod
     def from_federation(cls, federation: Federation,
@@ -167,12 +188,72 @@ class OpenSpaceNetwork:
         self._failed_links = frozenset(
             tuple(sorted(pair)) for pair in failed_links
         )
+        self.invalidate_snapshot_cache()
 
     def clear_fault_state(self) -> None:
         """Restore every element to service."""
         self._failed_satellites = frozenset()
         self._failed_stations = frozenset()
         self._failed_links = frozenset()
+        self.invalidate_snapshot_cache()
+
+    # -- snapshot cache ------------------------------------------------
+    # Snapshots are pure functions of (time, fault state, user set), so
+    # repeated queries inside flowsim/sessionsim/handover loops reuse the
+    # built graph instead of re-running propagation, the greedy ISL
+    # assignment, and every link budget.  The fault injector invalidates
+    # implicitly: every set_fault_state()/clear_fault_state() bumps the
+    # fault epoch that is part of every cache key.
+
+    @property
+    def fault_epoch(self) -> int:
+        """Monotone counter bumped on every fault-state change."""
+        return self._fault_epoch
+
+    def invalidate_snapshot_cache(self) -> None:
+        """Drop every cached snapshot and start a new fault epoch."""
+        self._fault_epoch += 1
+        self._snapshot_cache.clear()
+
+    def _cache_key(self, time_s: float,
+                   users: Sequence[UserTerminal]) -> Optional[tuple]:
+        """Cache key for a snapshot request, or None when uncacheable."""
+        if self.snapshot_cache_size <= 0:
+            return None
+        quantum = self.snapshot_cache_quantum_s
+        time_key = (
+            float(time_s) if quantum <= 0.0
+            else int(round(time_s / quantum))
+        )
+        try:
+            users_key = tuple(
+                (user.user_id, user.location, user.min_elevation_deg)
+                for user in users
+            )
+        except TypeError:  # unhashable location — skip caching, stay correct
+            return None
+        return (time_key, self._fault_epoch, users_key)
+
+    def _cache_get(self, key: Optional[tuple]) -> Optional["NetworkSnapshot"]:
+        if key is None:
+            return None
+        snap = self._snapshot_cache.get(key)
+        recorder = _obs.active()
+        if snap is not None:
+            self._snapshot_cache.move_to_end(key)
+            if recorder.enabled:
+                recorder.count("network.snapshot_cache.hit")
+        elif recorder.enabled:
+            recorder.count("network.snapshot_cache.miss")
+        return snap
+
+    def _cache_put(self, key: Optional[tuple],
+                   snap: "NetworkSnapshot") -> None:
+        if key is None:
+            return
+        self._snapshot_cache[key] = snap
+        while len(self._snapshot_cache) > self.snapshot_cache_size:
+            self._snapshot_cache.popitem(last=False)
 
     @property
     def failed_satellites(self) -> frozenset:
@@ -192,21 +273,32 @@ class OpenSpaceNetwork:
                     or self._failed_links)
 
     def satellite_positions(self, time_s: float) -> Dict[str, np.ndarray]:
-        """ECI position of every satellite at ``time_s``."""
+        """ECI position of every satellite at ``time_s``.
+
+        One batched propagation for the whole fleet (see
+        :func:`~repro.orbits.kepler.batch_positions`).
+        """
+        propagators = [prop for _, prop in self._propagator_order]
+        positions = batch_positions(propagators, time_s)[:, 0, :]
         return {
-            sat_id: prop.position_at(time_s)
-            for sat_id, prop in self._propagators.items()
+            sat_id: positions[index]
+            for index, (sat_id, _) in enumerate(self._propagator_order)
+        }
+
+    def satellite_positions_over(self, times_s) -> Dict[str, np.ndarray]:
+        """ECI positions over a time grid; ``{sat_id: (T, 3) array}``."""
+        propagators = [prop for _, prop in self._propagator_order]
+        positions = batch_positions(propagators, times_s)
+        return {
+            sat_id: positions[index]
+            for index, (sat_id, _) in enumerate(self._propagator_order)
         }
 
     def _ground_edge(self, spec: SpacecraftSpec, sat_pos: np.ndarray,
-                     station: GroundStation, station_pos: np.ndarray) -> Optional[dict]:
+                     station: GroundStation, station_pos: np.ndarray,
+                     elevation: float,
+                     distance: float) -> Optional[dict]:
         """Edge attributes for a satellite-station link, or None if unusable."""
-        elevation = elevation_angle(station_pos, sat_pos)
-        if elevation < math.radians(max(
-            self.ground_elevation_mask_deg, station.min_elevation_deg
-        )):
-            return None
-        distance = slant_range(station_pos, sat_pos)
         capacity = 0.0
         if spec.ground_terminal is not None:
             station_terminal = RFTerminal(
@@ -247,7 +339,42 @@ class OpenSpaceNetwork:
         :meth:`set_fault_state`) are excluded: failed satellites never
         enter the ISL build, failed stations take no node, and failed
         links lose their edge even when geometry would close it.
+
+        Results are cached per ``(time bucket, fault epoch, user set)``
+        — repeated queries for the same instant return the **same**
+        :class:`NetworkSnapshot` object, so treat snapshot graphs as
+        read-only (every in-repo consumer does).  A user-specific
+        snapshot whose no-user base graph is cached is built
+        incrementally: the base is copied and only the access links are
+        recomputed.
         """
+        key = self._cache_key(time_s, users)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        base = self._base_snapshot(time_s)
+        if not users:
+            self._cache_put(key, base)
+            return base
+        graph = base.graph.copy()
+        positions = base.isl_snapshot.positions
+        alive = [
+            spec for spec in self.satellites
+            if spec.satellite_id not in self._failed_satellites
+        ]
+        for user in users:
+            self._add_user_edges(graph, user, alive, positions, time_s)
+        snap = NetworkSnapshot(time_s=time_s, graph=graph,
+                               isl_snapshot=base.isl_snapshot)
+        self._cache_put(key, snap)
+        return snap
+
+    def _base_snapshot(self, time_s: float) -> NetworkSnapshot:
+        """The no-user snapshot (ISLs + ground stations), cached."""
+        key = self._cache_key(time_s, ())
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         positions = self.satellite_positions(time_s)
         isl_snap = self._builder.snapshot(
             time_s, positions, exclude=self._failed_satellites or None
@@ -264,6 +391,10 @@ class OpenSpaceNetwork:
             if graph.has_edge(node_a, node_b):
                 graph.remove_edge(node_a, node_b)
 
+        alive_matrix = (
+            np.stack([positions[spec.satellite_id] for spec in alive])
+            if alive else np.empty((0, 3))
+        )
         for station in self.ground_stations:
             if station.station_id in self._failed_stations:
                 continue
@@ -271,42 +402,137 @@ class OpenSpaceNetwork:
             graph.add_node(
                 station.station_id, kind="ground_station", owner=station.owner
             )
-            for spec in alive:
+            if not alive:
+                continue
+            # One vectorized elevation pass per station; link budgets run
+            # only for the satellites above the mask.
+            elevations = elevation_angles(station_pos, alive_matrix)
+            mask_rad = math.radians(max(
+                self.ground_elevation_mask_deg, station.min_elevation_deg
+            ))
+            deltas = alive_matrix - station_pos
+            distances = np.sqrt((deltas * deltas).sum(axis=-1))
+            for index in np.nonzero(elevations >= mask_rad)[0]:
+                spec = alive[int(index)]
                 attrs = self._ground_edge(
-                    spec, positions[spec.satellite_id], station, station_pos
+                    spec, positions[spec.satellite_id], station, station_pos,
+                    elevation=float(elevations[index]),
+                    distance=float(distances[index]),
                 )
                 if attrs is not None:
-                    graph.add_edge(spec.satellite_id, station.station_id, **attrs)
+                    graph.add_edge(spec.satellite_id, station.station_id,
+                                   **attrs)
 
-        for user in users:
-            user_pos = user.position_eci(time_s)
-            graph.add_node(user.user_id, kind="user", owner=user.home_provider)
-            mask_rad = math.radians(user.min_elevation_deg)
-            for spec in alive:
-                sat_pos = positions[spec.satellite_id]
-                if elevation_angle(user_pos, sat_pos) < mask_rad:
-                    continue
-                distance = slant_range(user_pos, sat_pos)
-                capacity = 0.0
-                if spec.ground_terminal is not None:
-                    budget = rf_link_budget(
-                        spec.ground_terminal, user.terminal, distance,
-                        elevation_rad=elevation_angle(user_pos, sat_pos),
-                    )
-                    capacity = achievable_rate_bps(
-                        budget.snr_db, budget.bandwidth_hz
-                    )
-                if capacity <= 0.0:
-                    continue
-                graph.add_edge(
-                    user.user_id, spec.satellite_id,
-                    delay_s=distance / SPEED_OF_LIGHT_KM_S,
-                    capacity_bps=capacity,
-                    owner=spec.owner,
-                    kind="access_link",
+        snap = NetworkSnapshot(time_s=time_s, graph=graph,
+                               isl_snapshot=isl_snap)
+        self._cache_put(key, snap)
+        return snap
+
+    def _add_user_edges(self, graph: nx.Graph, user: UserTerminal,
+                        alive: Sequence[SpacecraftSpec],
+                        positions: Dict[str, np.ndarray],
+                        time_s: float) -> None:
+        """Attach one user node and its access links to ``graph``."""
+        user_pos = user.position_eci(time_s)
+        graph.add_node(user.user_id, kind="user", owner=user.home_provider)
+        if not alive:
+            return
+        mask_rad = math.radians(user.min_elevation_deg)
+        alive_matrix = np.stack(
+            [positions[spec.satellite_id] for spec in alive]
+        )
+        elevations = elevation_angles(user_pos, alive_matrix)
+        deltas = alive_matrix - user_pos
+        distances = np.sqrt((deltas * deltas).sum(axis=-1))
+        for index in np.nonzero(elevations >= mask_rad)[0]:
+            spec = alive[int(index)]
+            distance = float(distances[index])
+            capacity = 0.0
+            if spec.ground_terminal is not None:
+                budget = rf_link_budget(
+                    spec.ground_terminal, user.terminal, distance,
+                    elevation_rad=float(elevations[index]),
                 )
+                capacity = achievable_rate_bps(
+                    budget.snr_db, budget.bandwidth_hz
+                )
+            if capacity <= 0.0:
+                continue
+            graph.add_edge(
+                user.user_id, spec.satellite_id,
+                delay_s=distance / SPEED_OF_LIGHT_KM_S,
+                capacity_bps=capacity,
+                owner=spec.owner,
+                kind="access_link",
+            )
 
-        return NetworkSnapshot(time_s=time_s, graph=graph, isl_snapshot=isl_snap)
+    def refresh_edge_weights(self, snap: NetworkSnapshot,
+                             users: Sequence[UserTerminal] = ()) -> int:
+        """Recompute ground/access edge weights of a snapshot in place.
+
+        The incremental path for "only link budgets changed": when
+        station operating state (rain rate, queue occupancy, tariffs)
+        moves but geometry has not, the snapshot's topology is still
+        valid — only the edge attributes need recomputing.  Satellite
+        positions are reused from the snapshot; no propagation, ISL
+        assignment, or graph reconstruction runs.
+
+        Args:
+            snap: A snapshot previously built by :meth:`snapshot`.
+            users: User terminals whose access links should also be
+                refreshed (matched by ``user_id``).
+
+        Returns:
+            The number of edges whose attributes were recomputed.
+        """
+        positions = snap.isl_snapshot.positions
+        users_by_id = {user.user_id: user for user in users}
+        refreshed = 0
+        for node_a, node_b, data in snap.graph.edges(data=True):
+            kind = data.get("kind")
+            if kind == "ground_link":
+                sat_id, station_id = (
+                    (node_a, node_b) if node_a in positions else (node_b, node_a)
+                )
+                station = self._station_by_id.get(station_id)
+                spec = self._spec_by_id.get(sat_id)
+                if station is None or spec is None:
+                    continue
+                station_pos = station.position_eci(snap.time_s)
+                sat_pos = positions[sat_id]
+                elevation = float(elevation_angles(station_pos, sat_pos[None, :])[0])
+                delta = sat_pos - station_pos
+                attrs = self._ground_edge(
+                    spec, sat_pos, station, station_pos,
+                    elevation=elevation,
+                    distance=float(np.sqrt((delta * delta).sum())),
+                )
+                if attrs is not None:
+                    data.update(attrs)
+                    refreshed += 1
+            elif kind == "access_link" and users_by_id:
+                user_id, sat_id = (
+                    (node_a, node_b) if node_b in positions else (node_b, node_a)
+                )
+                user = users_by_id.get(user_id)
+                spec = self._spec_by_id.get(sat_id)
+                if user is None or spec is None or spec.ground_terminal is None:
+                    continue
+                user_pos = user.position_eci(snap.time_s)
+                delta = positions[sat_id] - user_pos
+                distance = float(np.sqrt((delta * delta).sum()))
+                budget = rf_link_budget(
+                    spec.ground_terminal, user.terminal, distance,
+                    elevation_rad=float(
+                        elevation_angles(user_pos, positions[sat_id][None, :])[0]
+                    ),
+                )
+                capacity = achievable_rate_bps(budget.snr_db, budget.bandwidth_hz)
+                if capacity > 0.0:
+                    data["delay_s"] = distance / SPEED_OF_LIGHT_KM_S
+                    data["capacity_bps"] = capacity
+                    refreshed += 1
+        return refreshed
 
     def user_to_internet_latency_s(self, user: UserTerminal, time_s: float,
                                    cost_model: Optional[EdgeCostModel] = None) -> Optional[float]:

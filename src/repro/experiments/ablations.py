@@ -296,6 +296,46 @@ def ablation_federation(operator_counts: Sequence[int] = (1, 2, 3, 6),
     return rows
 
 
+#: Every design-axis ablation, in display order.  Each runs with its
+#: default (seeded) arguments, so the set is safe to fan out.
+ABLATION_NAMES = ("isl_mix", "mac", "handover", "economics", "federation")
+
+
+def run_ablation(name: str):
+    """Run one named ablation with default arguments (picklable entry).
+
+    Args:
+        name: One of :data:`ABLATION_NAMES`.
+
+    Raises:
+        KeyError: For unknown ablation names.
+    """
+    runners = {
+        "isl_mix": ablation_isl_mix,
+        "mac": ablation_mac,
+        "handover": ablation_handover,
+        "economics": ablation_economics,
+        "federation": ablation_federation,
+    }
+    return runners[name]()
+
+
+def run_all_ablations(jobs: int = 1) -> Dict[str, object]:
+    """Run every ablation, optionally fanned out across processes.
+
+    Each ablation is internally seeded, so results are identical at any
+    job count.
+
+    Returns:
+        ``{name: result}`` in :data:`ABLATION_NAMES` order.
+    """
+    from repro.parallel import run_grid
+
+    results = run_grid(run_ablation, list(ABLATION_NAMES), jobs=jobs,
+                       label="ablations")
+    return dict(zip(ABLATION_NAMES, results))
+
+
 def _solo_reachability(scenario: Scenario) -> float:
     """Reachability when each user may only use its home operator's assets."""
     from repro.core.network import OpenSpaceNetwork

@@ -20,7 +20,7 @@ alongside; see EXPERIMENTS.md for the estimator discussion).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
@@ -36,11 +36,13 @@ from repro.orbits.coordinates import GeodeticPoint, ecef_to_eci
 from repro.orbits.visibility import (
     cluster_coverage_fraction,
     coverage_fraction,
-    elevation_angle,
-    slant_range,
+    elevation_angles,
+    pairwise_line_of_sight,
+    pairwise_slant_ranges,
     worst_case_coverage_fraction,
 )
 from repro.orbits.walker import iridium_like, random_constellation
+from repro.parallel import derive_seed, run_grid
 from repro.phy.rf import standard_sband_isl_terminal
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import SeriesCollector
@@ -139,25 +141,27 @@ def _relay_latency_s(positions: np.ndarray, user_eci: np.ndarray,
     graph = nx.Graph()
     graph.add_node("user")
     graph.add_node("gateway")
-    for i in range(count):
-        graph.add_node(i)
-        if elevation_angle(user_eci, positions[i]) >= mask_rad:
-            graph.add_edge("user", i,
-                           delay_s=slant_range(user_eci, positions[i])
-                           / SPEED_OF_LIGHT_KM_S)
-        if elevation_angle(gateway_eci, positions[i]) >= mask_rad:
-            graph.add_edge("gateway", i,
-                           delay_s=slant_range(gateway_eci, positions[i])
-                           / SPEED_OF_LIGHT_KM_S)
-    from repro.orbits.visibility import has_line_of_sight
-    for i in range(count):
-        for j in range(i + 1, count):
-            distance = slant_range(positions[i], positions[j])
-            if distance > max_isl_range_km:
-                continue
-            if not has_line_of_sight(positions[i], positions[j]):
-                continue
-            graph.add_edge(i, j, delay_s=distance / SPEED_OF_LIGHT_KM_S)
+    graph.add_nodes_from(range(count))
+    # Access edges and the full relay mesh come from vectorized
+    # elevation/range/line-of-sight passes; only graph assembly loops.
+    for endpoint, ground_eci in (("user", user_eci), ("gateway", gateway_eci)):
+        elevations = elevation_angles(ground_eci, positions)
+        deltas = positions - np.asarray(ground_eci, dtype=float)
+        ranges = np.sqrt((deltas * deltas).sum(axis=-1))
+        for i in np.nonzero(elevations >= mask_rad)[0]:
+            graph.add_edge(endpoint, int(i),
+                           delay_s=float(ranges[i]) / SPEED_OF_LIGHT_KM_S)
+    if count >= 2:
+        distances = pairwise_slant_ranges(positions)
+        feasible = (
+            (distances <= max_isl_range_km)
+            & pairwise_line_of_sight(positions)
+        )
+        rows_idx, cols_idx = np.triu_indices(count, k=1)
+        keep = feasible[rows_idx, cols_idx]
+        for i, j in zip(rows_idx[keep], cols_idx[keep]):
+            graph.add_edge(int(i), int(j),
+                           delay_s=float(distances[i, j]) / SPEED_OF_LIGHT_KM_S)
     with _obs.span("routing.relay.shortest_path",
                    nodes=graph.number_of_nodes(),
                    edges=graph.number_of_edges()):
@@ -168,6 +172,62 @@ def _relay_latency_s(positions: np.ndarray, user_eci: np.ndarray,
             return None
 
 
+def _figure_2b_point(args: tuple) -> Dict:
+    """One Figure 2(b) sweep point: all trials/epochs for one count.
+
+    Module-level so :func:`repro.parallel.run_grid` can pickle it into
+    worker processes; all randomness comes from the point's derived
+    seed, so results are identical at any job count.
+    """
+    (count, trials, epochs, point_seed, altitude_km,
+     user_site, gateway_site) = args
+    rng = np.random.default_rng(point_seed)
+    epoch_times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
+    recorder = _obs.active()
+    samples: List[float] = []
+    reached = 0
+    total = 0
+
+    def sample_epoch(positions: np.ndarray, time_s: float) -> None:
+        """Evaluate one (constellation, epoch) relay measurement."""
+        nonlocal reached, total
+        total += 1
+        user_eci = ecef_to_eci(user_site.ecef(), time_s)
+        gateway_eci = ecef_to_eci(gateway_site.ecef(), time_s)
+        with recorder.phase("figure2b.relay_path"):
+            latency = _relay_latency_s(positions, user_eci, gateway_eci,
+                                       min_elevation_deg=0.0)
+        if latency is not None:
+            samples.append(latency * 1000.0)
+            reached += 1
+            if recorder.enabled:
+                recorder.observe("figure2b.latency_ms",
+                                 latency * 1000.0, label=str(count))
+
+    with recorder.span("experiment.figure2b.sweep_point",
+                       satellites=count, trials=trials, epochs=epochs):
+        for _ in range(trials):
+            constellation = random_constellation(count, rng,
+                                                 altitude_km=altitude_km)
+            # One broadcast propagation covers every epoch of the trial.
+            with recorder.phase("figure2b.propagate"):
+                positions_all = constellation.positions_over(epoch_times)
+            # The epoch samples run as discrete events so the sweep
+            # exercises (and is measured through) the same engine the
+            # protocol simulations use.
+            engine = SimulationEngine()
+            for k, time_s in enumerate(epoch_times):
+                engine.schedule(
+                    float(time_s),
+                    lambda pos=positions_all[:, k, :], t=float(time_s):
+                        sample_epoch(pos, t),
+                    label="figure2b.epoch",
+                )
+            engine.run()
+    return {"count": count, "samples": samples,
+            "reached": reached, "total": total}
+
+
 def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
                           list(range(4, 30, 3)) + [35, 45, 55, 70]),
                       trials: int = 4,
@@ -175,7 +235,8 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
                       seed: int = 42,
                       altitude_km: float = IRIDIUM_ALTITUDE_KM,
                       user_site: GeodeticPoint = DEFAULT_USER_SITE,
-                      gateway_site: GeodeticPoint = DEFAULT_GATEWAY_SITE) -> Dict:
+                      gateway_site: GeodeticPoint = DEFAULT_GATEWAY_SITE,
+                      jobs: int = 1) -> Dict:
     """Propagation latency vs constellation size (paper Figure 2(b)).
 
     For each satellite count, ``trials`` random constellations are drawn;
@@ -186,6 +247,10 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
     collected over the reachable epochs; reachability is the fraction of
     epochs with any relay path.
 
+    Each satellite count is an independent sweep point with its own
+    derived seed, so ``jobs > 1`` fans points across processes without
+    changing any value in the result.
+
     Returns:
         ``{"series": [...rows...], "reachability": {count: fraction}}``
         where each series row is ``{"x", "mean", "p50", "p95", "n"}`` with
@@ -195,58 +260,26 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
         raise ValueError(f"need at least one trial, got {trials}")
     if epochs < 1:
         raise ValueError(f"need at least one epoch, got {epochs}")
-    rng = np.random.default_rng(seed)
-    epoch_times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
+    points = [
+        (int(count), trials, epochs,
+         derive_seed(seed, "figure2b", int(count)),
+         altitude_km, user_site, gateway_site)
+        for count in satellite_counts
+    ]
+    results = run_grid(_figure_2b_point, points, jobs=jobs, label="figure2b")
     series = SeriesCollector("latency_ms")
     reachability: Dict[int, float] = {}
     recorder = _obs.active()
-    for count in satellite_counts:
-        reached = 0
-        total = 0
-
-        def sample_epoch(propagators, time_s, count=count):
-            """Evaluate one (constellation, epoch) relay measurement."""
-            nonlocal reached, total
-            total += 1
-            with recorder.phase("figure2b.propagate"):
-                positions = np.array(
-                    [p.position_at(time_s) for p in propagators]
-                )
-            user_eci = ecef_to_eci(user_site.ecef(), time_s)
-            gateway_eci = ecef_to_eci(gateway_site.ecef(), time_s)
-            with recorder.phase("figure2b.relay_path"):
-                latency = _relay_latency_s(positions, user_eci,
-                                           gateway_eci,
-                                           min_elevation_deg=0.0)
-            if latency is not None:
-                series.add(count, latency * 1000.0)
-                reached += 1
-                if recorder.enabled:
-                    recorder.observe("figure2b.latency_ms",
-                                     latency * 1000.0, label=str(count))
-
-        with recorder.span("experiment.figure2b.sweep_point",
-                           satellites=count, trials=trials, epochs=epochs):
-            for _ in range(trials):
-                constellation = random_constellation(count, rng,
-                                                     altitude_km=altitude_km)
-                propagators = constellation.propagators()
-                # The epoch samples run as discrete events so the sweep
-                # exercises (and is measured through) the same engine the
-                # protocol simulations use.
-                engine = SimulationEngine()
-                for time_s in epoch_times:
-                    engine.schedule(
-                        float(time_s),
-                        lambda p=propagators, t=float(time_s):
-                            sample_epoch(p, t),
-                        label="figure2b.epoch",
-                    )
-                engine.run()
+    for result in results:
+        count = result["count"]
+        for value in result["samples"]:
+            series.add(count, value)
         if recorder.enabled:
-            recorder.count("figure2b.epochs", total, label=str(count))
-            recorder.count("figure2b.reached", reached, label=str(count))
-        reachability[count] = reached / total
+            recorder.count("figure2b.epochs", result["total"],
+                           label=str(count))
+            recorder.count("figure2b.reached", result["reached"],
+                           label=str(count))
+        reachability[count] = result["reached"] / result["total"]
     rows = []
     for x in series.xs():
         stats = series.summary_at(x)
@@ -257,11 +290,42 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
     return {"series": rows, "reachability": reachability}
 
 
+def _figure_2c_point(args: tuple) -> Dict:
+    """One Figure 2(c) sweep point (picklable; seed derived per point)."""
+    count, trials, point_seed, altitude_km = args
+    rng = np.random.default_rng(point_seed)
+    recorder = _obs.active()
+    union_vals, worst_vals, cluster_vals = [], [], []
+    with recorder.span("experiment.figure2c.sweep_point",
+                       satellites=count, trials=trials):
+        for _ in range(trials):
+            constellation = random_constellation(count, rng,
+                                                 altitude_km=altitude_km)
+            positions = constellation.positions_at(0.0)
+            with recorder.phase("figure2c.coverage"):
+                union_vals.append(
+                    coverage_fraction(positions, altitude_km)
+                )
+                worst_vals.append(
+                    worst_case_coverage_fraction(positions, altitude_km)
+                )
+                cluster_vals.append(
+                    cluster_coverage_fraction(positions, altitude_km)
+                )
+    return {
+        "satellites": count,
+        "union": float(np.mean(union_vals)),
+        "worst_case": float(np.mean(worst_vals)),
+        "cluster": float(np.mean(cluster_vals)),
+    }
+
+
 def figure_2c_coverage(satellite_counts: Sequence[int] = tuple(
                            [1, 2, 4, 8, 12, 16, 20, 25, 30, 40, 50, 60, 70, 80]),
                        trials: int = 6,
                        seed: int = 42,
-                       altitude_km: float = IRIDIUM_ALTITUDE_KM) -> List[Dict]:
+                       altitude_km: float = IRIDIUM_ALTITUDE_KM,
+                       jobs: int = 1) -> List[Dict]:
     """Coverage vs constellation size (paper Figure 2(c)).
 
     Reports three estimators per count:
@@ -273,39 +337,24 @@ def figure_2c_coverage(satellite_counts: Sequence[int] = tuple(
       saturates at the disjoint-cap packing limit;
     * ``cluster`` — the strictest transitive reading (sensitivity bound).
 
+    Each count is an independent sweep point with a derived seed;
+    ``jobs > 1`` fans points across processes without changing values.
+
     Returns:
         One row per satellite count:
         ``{"satellites", "union", "worst_case", "cluster"}`` (trial means).
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
-    rng = np.random.default_rng(seed)
-    rows = []
+    points = [
+        (int(count), trials, derive_seed(seed, "figure2c", int(count)),
+         altitude_km)
+        for count in satellite_counts
+    ]
+    rows = run_grid(_figure_2c_point, points, jobs=jobs, label="figure2c")
     recorder = _obs.active()
-    for count in satellite_counts:
-        union_vals, worst_vals, cluster_vals = [], [], []
-        with recorder.span("experiment.figure2c.sweep_point",
-                           satellites=count, trials=trials):
-            for _ in range(trials):
-                constellation = random_constellation(count, rng,
-                                                     altitude_km=altitude_km)
-                positions = constellation.positions_at(0.0)
-                with recorder.phase("figure2c.coverage"):
-                    union_vals.append(
-                        coverage_fraction(positions, altitude_km)
-                    )
-                    worst_vals.append(
-                        worst_case_coverage_fraction(positions, altitude_km)
-                    )
-                    cluster_vals.append(
-                        cluster_coverage_fraction(positions, altitude_km)
-                    )
-        if recorder.enabled:
-            recorder.count("figure2c.trials", trials, label=str(count))
-        rows.append({
-            "satellites": count,
-            "union": float(np.mean(union_vals)),
-            "worst_case": float(np.mean(worst_vals)),
-            "cluster": float(np.mean(cluster_vals)),
-        })
+    if recorder.enabled:
+        for row in rows:
+            recorder.count("figure2c.trials", trials,
+                           label=str(row["satellites"]))
     return rows

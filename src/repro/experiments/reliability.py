@@ -38,6 +38,7 @@ from repro.faults.model import FaultSchedule
 from repro.faults.schedule import link_flap_schedule
 from repro.ground.station import default_station_network
 from repro.ground.user import UserTerminal
+from repro.parallel import run_grid
 from repro.reliability.channel import LossyControlChannel
 from repro.reliability.exchange import (
     CircuitBreakerRegistry,
@@ -211,6 +212,40 @@ def run_reliability_scenario(
     }
 
 
+def _reliability_point(args: tuple) -> Dict:
+    """One grid point, self-contained for process-pool execution.
+
+    Rebuilds the reference network and flap-link sample (both pure
+    functions of their inputs) so the point depends on nothing shared;
+    sub-seeds (``seed + 31 * row``, ``seed + 101 * row``) match the
+    serial sweep's historical derivation, keeping rows byte-identical
+    at any job count.
+    """
+    (loss, mtbf_h, row_index, horizon_s, probes, seed, mttr_s,
+     flap_fraction, max_attempts, timeout_s) = args
+    stations = default_station_network()
+    fleet = build_fleet(iridium_like(), PROVIDER, SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, stations)
+    users = _make_users()
+    links = _flap_links(network, flap_fraction)
+    policy = RetryPolicy(max_attempts=max_attempts, timeout_s=timeout_s)
+    if mtbf_h > 0.0 and links:
+        schedule = link_flap_schedule(
+            links, horizon_s, mtbf_s=mtbf_h * 3600.0,
+            mttr_s=mttr_s, seed=seed + 31 * row_index,
+        )
+    else:
+        schedule = FaultSchedule(horizon_s=horizon_s)
+    result = run_reliability_scenario(
+        network, schedule, users, horizon_s=horizon_s,
+        probes=probes, loss=loss, policy=policy,
+        channel_seed=seed + 101 * row_index,
+    )
+    row = {"loss": float(loss), "flap_mtbf_h": float(mtbf_h)}
+    row.update(result)
+    return row
+
+
 def reliability_sweep(loss_rates: Sequence[float] = (0.0, 0.05, 0.2),
                       flap_mtbf_hours: Sequence[float] = (0.0, 0.5),
                       horizon_s: float = 1800.0,
@@ -219,7 +254,8 @@ def reliability_sweep(loss_rates: Sequence[float] = (0.0, 0.05, 0.2),
                       mttr_s: Optional[float] = 240.0,
                       flap_fraction: float = 0.25,
                       max_attempts: int = 4,
-                      timeout_s: float = 0.5) -> List[Dict]:
+                      timeout_s: float = 0.5,
+                      jobs: int = 1) -> List[Dict]:
     """Auth success and latency inflation vs loss rate x fault intensity.
 
     Args:
@@ -233,6 +269,8 @@ def reliability_sweep(loss_rates: Sequence[float] = (0.0, 0.05, 0.2),
         flap_fraction: Fraction of the epoch-0 ISL set that flaps.
         max_attempts: Retransmission bound of the auth exchanges.
         timeout_s: Per-attempt timeout of the auth exchanges.
+        jobs: Worker processes for the grid fan-out; every job count
+            yields identical rows.
 
     Returns:
         One row dict per grid point, in ``loss_rates`` x
@@ -246,32 +284,14 @@ def reliability_sweep(loss_rates: Sequence[float] = (0.0, 0.05, 0.2),
         if mtbf_h < 0.0:
             raise ValueError(f"flap MTBF must be >= 0, got {mtbf_h}")
 
-    stations = default_station_network()
-    fleet = build_fleet(iridium_like(), PROVIDER, SizeClass.MEDIUM)
-    network = OpenSpaceNetwork(fleet, stations)
-    users = _make_users()
-    links = _flap_links(network, flap_fraction)
-    policy = RetryPolicy(max_attempts=max_attempts, timeout_s=timeout_s)
-
-    rows: List[Dict] = []
-    with _obs.active().span("experiment.reliability.sweep",
-                            points=len(loss_rates) * len(flap_mtbf_hours)):
+    points = [
+        (float(loss), float(mtbf_h), row_index, horizon_s, probes, seed,
+         mttr_s, flap_fraction, max_attempts, timeout_s)
         for row_index, (loss, mtbf_h) in enumerate(
-                (loss, mtbf_h)
-                for loss in loss_rates for mtbf_h in flap_mtbf_hours):
-            if mtbf_h > 0.0 and links:
-                schedule = link_flap_schedule(
-                    links, horizon_s, mtbf_s=mtbf_h * 3600.0,
-                    mttr_s=mttr_s, seed=seed + 31 * row_index,
-                )
-            else:
-                schedule = FaultSchedule(horizon_s=horizon_s)
-            result = run_reliability_scenario(
-                network, schedule, users, horizon_s=horizon_s,
-                probes=probes, loss=loss, policy=policy,
-                channel_seed=seed + 101 * row_index,
-            )
-            row = {"loss": float(loss), "flap_mtbf_h": float(mtbf_h)}
-            row.update(result)
-            rows.append(row)
-    return rows
+            (loss, mtbf_h)
+            for loss in loss_rates for mtbf_h in flap_mtbf_hours)
+    ]
+    with _obs.active().span("experiment.reliability.sweep",
+                            points=len(points)):
+        return run_grid(_reliability_point, points, jobs=jobs,
+                        label="reliability")

@@ -30,6 +30,7 @@ from repro.faults.schedule import satellite_mtbf_schedule
 from repro.ground.station import default_station_network
 from repro.ground.user import UserTerminal
 from repro.orbits.walker import iridium_like
+from repro.parallel import run_grid
 from repro.simulation.engine import SimulationEngine
 
 
@@ -126,12 +127,42 @@ def run_fault_scenario(network: OpenSpaceNetwork, schedule: FaultSchedule,
     return result
 
 
+def _dynamic_resilience_point(args: tuple) -> Dict:
+    """One sweep row, self-contained for process-pool execution.
+
+    Builds its own network so the point is a pure function of its args;
+    the schedule seed (``seed + 7919 * index``) matches what the serial
+    sweep has always used, so rows are unchanged at any job count.
+    """
+    mtbf_h, index, mttr_s, horizon_s, epochs, seed, reroute_delay_s = args
+    stations = default_station_network()
+    fleet = build_fleet(iridium_like(), "resil-dyn", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, stations)
+    satellite_ids = [spec.satellite_id for spec in fleet]
+    users = _sample_users()
+    schedule = satellite_mtbf_schedule(
+        satellite_ids, horizon_s, mtbf_s=mtbf_h * 3600.0,
+        mttr_s=mttr_s, seed=seed + 7919 * index,
+    )
+    result = run_fault_scenario(
+        network, schedule, users, horizon_s=horizon_s,
+        epochs=epochs, reroute_delay_s=reroute_delay_s,
+    )
+    row = {
+        key: value for key, value in result.items()
+        if not key.startswith("_")
+    }
+    row["mtbf_h"] = float(mtbf_h)
+    return row
+
+
 def dynamic_resilience_sweep(mtbf_hours: Sequence[float] = (1.0, 3.0, 12.0),
                              mttr_s: Optional[float] = 900.0,
                              horizon_s: float = 7200.0,
                              epochs: int = 8,
                              seed: int = 43,
-                             reroute_delay_s: float = 15.0) -> List[Dict]:
+                             reroute_delay_s: float = 15.0,
+                             jobs: int = 1) -> List[Dict]:
     """Recovery metrics vs failure intensity on the reference fleet.
 
     Each row injects an independent per-satellite MTBF/MTTR failure
@@ -149,36 +180,21 @@ def dynamic_resilience_sweep(mtbf_hours: Sequence[float] = (1.0, 3.0, 12.0),
         epochs: Periodic availability probes per row.
         seed: Root seed.
         reroute_delay_s: Control-plane reconvergence charge.
+        jobs: Worker processes for the row fan-out; every job count
+            yields identical rows.
 
     Returns:
         Rows of ``{"mtbf_h", "faults_injected", "faults_absorbed",
         "flows_rerouted", "flows_dropped", "mean_availability",
         "mean_time_to_reroute_s", "observed_mttr_s", ...}``.
     """
-    stations = default_station_network()
-    fleet = build_fleet(iridium_like(), "resil-dyn", SizeClass.MEDIUM)
-    network = OpenSpaceNetwork(fleet, stations)
-    satellite_ids = [spec.satellite_id for spec in fleet]
-    users = _sample_users()
-    rows: List[Dict] = []
+    points = []
+    for index, mtbf_h in enumerate(mtbf_hours):
+        if mtbf_h <= 0.0:
+            raise ValueError(f"MTBF must be positive, got {mtbf_h}")
+        points.append((float(mtbf_h), index, mttr_s, horizon_s, epochs,
+                       seed, reroute_delay_s))
     with _obs.active().span("experiment.resilience_dynamic.sweep",
-                            points=len(mtbf_hours)):
-        for index, mtbf_h in enumerate(mtbf_hours):
-            if mtbf_h <= 0.0:
-                raise ValueError(f"MTBF must be positive, got {mtbf_h}")
-            schedule = satellite_mtbf_schedule(
-                satellite_ids, horizon_s, mtbf_s=mtbf_h * 3600.0,
-                mttr_s=mttr_s, seed=seed + 7919 * index,
-            )
-            result = run_fault_scenario(
-                network, schedule, users, horizon_s=horizon_s,
-                epochs=epochs, reroute_delay_s=reroute_delay_s,
-            )
-            row = {
-                key: value for key, value in result.items()
-                if not key.startswith("_")
-            }
-            row["mtbf_h"] = float(mtbf_h)
-            rows.append(row)
-    network.clear_fault_state()
-    return rows
+                            points=len(points)):
+        return run_grid(_dynamic_resilience_point, points, jobs=jobs,
+                        label="faults")

@@ -17,7 +17,7 @@ lifecycle via :mod:`repro.obs` spans and counters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro import obs as _obs
 from repro.faults.model import (

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Separator inside an ISL-link target ("satA|satB"); satellite ids use
 #: dashes, so the pipe is unambiguous.

@@ -17,7 +17,10 @@ import networkx as nx
 import numpy as np
 
 from repro.isl.link import IslLink, Terminal, best_link_between
-from repro.orbits.visibility import has_line_of_sight, slant_range
+from repro.orbits.visibility import (
+    pairwise_line_of_sight,
+    pairwise_slant_ranges,
+)
 
 
 @dataclass
@@ -121,19 +124,28 @@ class IslTopologyBuilder:
         for node in nodes:
             graph.add_node(node.node_id, owner=node.owner)
 
+        # Candidate discovery is fully vectorized: one (N, N) distance
+        # matrix plus one line-of-sight mask replace the scalar pair
+        # loop.  Upper-triangle indices are walked row-major, so ties in
+        # the stable sort break exactly as the scalar enumeration did.
         candidates: List[tuple] = []
-        for i, node_a in enumerate(nodes):
-            pos_a = positions[node_a.node_id]
-            for node_b in nodes[i + 1:]:
-                pos_b = positions[node_b.node_id]
-                distance = slant_range(pos_a, pos_b)
-                if distance > self.max_range_km:
-                    continue
-                if not has_line_of_sight(pos_a, pos_b,
-                                         self.grazing_altitude_km):
-                    continue
-                candidates.append((distance, node_a, node_b))
-        candidates.sort(key=lambda item: item[0])
+        if len(nodes) >= 2:
+            pos_matrix = np.stack(
+                [np.asarray(positions[n.node_id], dtype=float) for n in nodes]
+            )
+            distances = pairwise_slant_ranges(pos_matrix)
+            feasible = (distances <= self.max_range_km) & pairwise_line_of_sight(
+                pos_matrix, self.grazing_altitude_km
+            )
+            rows, cols = np.triu_indices(len(nodes), k=1)
+            keep = feasible[rows, cols]
+            rows, cols = rows[keep], cols[keep]
+            order = np.argsort(distances[rows, cols], kind="stable")
+            candidates = [
+                (float(distances[rows[k], cols[k]]),
+                 nodes[int(rows[k])], nodes[int(cols[k])])
+                for k in order
+            ]
 
         degree: Dict[str, int] = {node.node_id: 0 for node in nodes}
         for distance, node_a, node_b in candidates:

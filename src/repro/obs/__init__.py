@@ -37,7 +37,7 @@ The CLI wires this for every subcommand via ``--trace`` /
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.obs.profile import PhaseProfiler
 from repro.obs.registry import (

@@ -21,7 +21,6 @@ import hashlib
 import json
 import os
 import platform
-import sys
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union

@@ -25,7 +25,7 @@ from __future__ import annotations
 import bisect
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default histogram buckets for durations in seconds (1 µs .. 100 s).

@@ -15,9 +15,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.orbits.coordinates import GeodeticPoint, ecef_to_eci
-from repro.orbits.kepler import KeplerPropagator
-from repro.orbits.visibility import elevation_angle, has_line_of_sight
+from repro.orbits.coordinates import GeodeticPoint, ecef_to_eci, ecef_to_eci_over
+from repro.orbits.kepler import KeplerPropagator, batch_positions
+from repro.orbits.visibility import (
+    elevation_angle,
+    elevation_angles,
+    line_of_sight_mask,
+)
 import math
 
 
@@ -93,12 +97,17 @@ def contact_windows(ground: GeodeticPoint,
         return (lo + hi) / 2.0
 
     times = np.arange(start_s, end_s + step_s, step_s)
+    # The coarse scan is batched: one ground-track rotation for all
+    # sample times, then per satellite one vectorized propagation and one
+    # elevation pass.  Only the sub-second edge refinement stays scalar.
+    ground_eci_all = ecef_to_eci_over(ground_ecef, times)
     for index, sat in enumerate(propagators):
-        above_prev = elevation(sat, float(times[0])) >= mask_rad
+        elevations = elevation_angles(ground_eci_all, sat.positions_at(times))
+        above_prev = bool(elevations[0] >= mask_rad)
         window_start: Optional[float] = float(times[0]) if above_prev else None
-        max_elev = elevation(sat, float(times[0])) if above_prev else -math.pi
-        for t_prev, t in zip(times[:-1], times[1:]):
-            elev = elevation(sat, float(t))
+        max_elev = float(elevations[0]) if above_prev else -math.pi
+        for k, (t_prev, t) in enumerate(zip(times[:-1], times[1:]), start=1):
+            elev = float(elevations[k])
             above = elev >= mask_rad
             if above and not above_prev:
                 window_start = refine(sat, float(t_prev), float(t), rising=True)
@@ -136,19 +145,15 @@ def isl_feasibility_schedule(propagators: List[KeplerPropagator],
     times = np.arange(start_s, end_s + step_s, step_s)
     count = len(propagators)
     feasible = {}
-    positions = [
-        np.array([sat.position_at(float(t)) for t in times])
-        for sat in propagators
-    ]
+    # (N, T, 3) in one batched propagation, then one vectorized range +
+    # line-of-sight pass per pair over the whole time grid.
+    positions = batch_positions(propagators, times)
     for i in range(count):
         for j in range(i + 1, count):
-            hits = 0
-            for k in range(len(times)):
-                pos_i, pos_j = positions[i][k], positions[j][k]
-                if max_range_km is not None:
-                    if float(np.linalg.norm(pos_i - pos_j)) > max_range_km:
-                        continue
-                if has_line_of_sight(pos_i, pos_j):
-                    hits += 1
-            feasible[(i, j)] = hits / len(times)
+            hits = line_of_sight_mask(positions[i], positions[j])
+            if max_range_km is not None:
+                diff = positions[i] - positions[j]
+                within = np.sqrt((diff * diff).sum(axis=-1)) <= max_range_km
+                hits = hits & within
+            feasible[(i, j)] = float(hits.sum()) / len(times)
     return feasible

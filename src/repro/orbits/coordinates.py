@@ -124,6 +124,27 @@ def ecef_to_eci(ecef_km: np.ndarray, time_s: float) -> np.ndarray:
     return rot @ np.asarray(ecef_km, dtype=float)
 
 
+def ecef_to_eci_over(ecef_km: np.ndarray, times_s) -> np.ndarray:
+    """Rotate one Earth-fixed vector into ECI at many times at once.
+
+    Args:
+        ecef_km: A single ``(3,)`` Earth-fixed position.
+        times_s: 1-D array of T simulation times.
+
+    Returns:
+        ``(T, 3)`` array of inertial positions — the batched counterpart
+        of calling :func:`ecef_to_eci` per time.
+    """
+    times = np.asarray(times_s, dtype=float)
+    theta = (EARTH_ROTATION_RAD_S * times) % _TWO_PI
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    x, y, z = np.asarray(ecef_km, dtype=float)
+    return np.stack(
+        [cos_t * x - sin_t * y, sin_t * x + cos_t * y,
+         np.full_like(times, z)], axis=-1
+    )
+
+
 def look_angles(observer: GeodeticPoint,
                 target_ecef_km: np.ndarray) -> Tuple[float, float, float]:
     """Azimuth, elevation (radians) and slant range (km) from an observer.

@@ -15,7 +15,7 @@ cites).
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,59 @@ def mean_motion(semi_major_axis_km: float) -> float:
 def orbital_period(semi_major_axis_km: float) -> float:
     """Orbital period in seconds for the given semi-major axis."""
     return _TWO_PI / mean_motion(semi_major_axis_km)
+
+
+def solve_kepler_array(mean_anomaly_rad: np.ndarray, eccentricity: float,
+                       tol: float = 1e-12,
+                       max_iterations: int = 50) -> np.ndarray:
+    """Vectorized Kepler solve: ``M = E - e sin E`` for an array of ``M``.
+
+    Runs the same Newton-Raphson iteration as :func:`solve_kepler` on the
+    whole array at once.  Each element stops updating as soon as its own
+    step falls below ``tol`` (a convergence mask, not a global break), so
+    every element sees the same update sequence the scalar solver applies.
+    In practice the two paths agree to within a few ulps (numpy's sin/cos
+    may round differently from ``math``'s on some platforms), which is far
+    below the solver's own ``tol``.
+
+    Args:
+        mean_anomaly_rad: Mean anomalies ``M`` in radians, any shape.
+        eccentricity: Orbit eccentricity ``e`` in [0, 1) (shared).
+        tol: Convergence tolerance on ``|E_{k+1} - E_k|``.
+        max_iterations: Safety bound on Newton iterations.
+
+    Returns:
+        Eccentric anomalies, same shape as the input.
+    """
+    if not 0.0 <= eccentricity < 1.0:
+        raise ValueError(f"eccentricity must be in [0, 1), got {eccentricity}")
+    m = np.asarray(mean_anomaly_rad, dtype=float) % _TWO_PI
+    if eccentricity == 0.0:
+        # E = M exactly; skip the iteration entirely.
+        return m.copy()
+    e_anom = m.copy() if eccentricity < 0.8 else np.full_like(m, math.pi)
+    active = np.ones(m.shape, dtype=bool)
+    for _ in range(max_iterations):
+        if not active.any():
+            break
+        e_act = e_anom[active]
+        delta = (e_act - eccentricity * np.sin(e_act) - m[active]) / (
+            1.0 - eccentricity * np.cos(e_act)
+        )
+        e_anom[active] = e_act - delta
+        still = np.abs(delta) >= tol
+        active[active] = still
+    return e_anom
+
+
+def true_anomaly_from_eccentric_array(eccentric_anomaly_rad: np.ndarray,
+                                      eccentricity: float) -> np.ndarray:
+    """Vectorized eccentric-to-true anomaly conversion."""
+    half_e = np.asarray(eccentric_anomaly_rad, dtype=float) / 2.0
+    return 2.0 * np.arctan2(
+        math.sqrt(1.0 + eccentricity) * np.sin(half_e),
+        math.sqrt(1.0 - eccentricity) * np.cos(half_e),
+    )
 
 
 def solve_kepler(mean_anomaly_rad: float, eccentricity: float, tol: float = 1e-12,
@@ -102,6 +155,34 @@ def _perifocal_to_eci_matrix(inclination_rad: float, raan_rad: float,
     )
 
 
+def _perifocal_to_eci_matrices(inclination_rad: float, raan_rad: np.ndarray,
+                               arg_perigee_rad: np.ndarray) -> np.ndarray:
+    """Rotation matrices from the perifocal frame to ECI for angle arrays.
+
+    Broadcasts ``raan_rad`` against ``arg_perigee_rad``; the result has
+    shape ``broadcast_shape + (3, 3)``.  Inclination is shared (one
+    element set), matching the secular-J2 model where only RAAN and the
+    argument of perigee drift.
+    """
+    raan = np.asarray(raan_rad, dtype=float)
+    argp = np.asarray(arg_perigee_rad, dtype=float)
+    raan, argp = np.broadcast_arrays(raan, argp)
+    cos_o, sin_o = np.cos(raan), np.sin(raan)
+    cos_i, sin_i = math.cos(inclination_rad), math.sin(inclination_rad)
+    cos_w, sin_w = np.cos(argp), np.sin(argp)
+    rot = np.empty(raan.shape + (3, 3), dtype=float)
+    rot[..., 0, 0] = cos_o * cos_w - sin_o * sin_w * cos_i
+    rot[..., 0, 1] = -cos_o * sin_w - sin_o * cos_w * cos_i
+    rot[..., 0, 2] = sin_o * sin_i
+    rot[..., 1, 0] = sin_o * cos_w + cos_o * sin_w * cos_i
+    rot[..., 1, 1] = -sin_o * sin_w + cos_o * cos_w * cos_i
+    rot[..., 1, 2] = -cos_o * sin_i
+    rot[..., 2, 0] = sin_w * sin_i
+    rot[..., 2, 1] = cos_w * sin_i
+    rot[..., 2, 2] = cos_i
+    return rot
+
+
 class KeplerPropagator:
     """Propagates one set of orbital elements to ECI state vectors.
 
@@ -162,11 +243,127 @@ class KeplerPropagator:
         position, _ = self.state_at(time_s)
         return position
 
-    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
-        """ECI positions for an array of times; shape ``(len(times), 3)``."""
-        return np.array([self.position_at(float(t)) for t in np.asarray(times_s)])
+    def states_at(self, times_s) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized ECI states for an array of times.
+
+        One broadcast pass computes every timestep at once: the mean
+        anomalies become one array Newton-Raphson solve, the perifocal
+        coordinates one trig pass, and the frame rotation one matrix
+        product (a single shared matrix when J2 is off, per-time matrices
+        when the node and perigee drift).
+
+        Args:
+            times_s: Scalar or 1-D array of simulation times.  Scalars
+                are normalized to a length-1 array, so the output shape
+                contract below always holds.
+
+        Returns:
+            ``(positions, velocities)`` arrays, each of shape ``(T, 3)``
+            where ``T = len(times_s)`` (``T = 1`` for scalar input,
+            ``T = 0`` for empty input), in km and km/s.
+        """
+        times = _normalize_times(times_s)
+        el = self.elements
+        dt = times - el.epoch_s
+        mean_anomaly = el.mean_anomaly_rad + self._mean_dot * dt
+
+        ecc_anom = solve_kepler_array(mean_anomaly, el.eccentricity)
+        nu = true_anomaly_from_eccentric_array(ecc_anom, el.eccentricity)
+
+        a = el.semi_major_axis_km
+        e = el.eccentricity
+        r = a * (1.0 - e * np.cos(ecc_anom))
+        p_semi_latus = a * (1.0 - e * e)
+        cos_nu, sin_nu = np.cos(nu), np.sin(nu)
+        pos_pf = np.stack(
+            [r * cos_nu, r * sin_nu, np.zeros_like(r)], axis=-1
+        )
+        v_factor = math.sqrt(EARTH_MU_KM3_S2 / p_semi_latus)
+        vel_pf = np.stack(
+            [-v_factor * sin_nu, v_factor * (e + cos_nu),
+             np.zeros_like(sin_nu)], axis=-1
+        )
+        if self._raan_dot == 0.0 and self._argp_dot == 0.0:
+            # Without J2 the orbital plane is inertially fixed: one
+            # rotation matrix serves every timestep.
+            rot = _perifocal_to_eci_matrix(
+                el.inclination_rad, el.raan_rad, el.arg_perigee_rad
+            )
+            return pos_pf @ rot.T, vel_pf @ rot.T
+        raan = el.raan_rad + self._raan_dot * dt
+        argp = el.arg_perigee_rad + self._argp_dot * dt
+        rot = _perifocal_to_eci_matrices(el.inclination_rad, raan, argp)
+        positions = np.einsum("tij,tj->ti", rot, pos_pf)
+        velocities = np.einsum("tij,tj->ti", rot, vel_pf)
+        return positions, velocities
+
+    def positions_at(self, times_s) -> np.ndarray:
+        """ECI positions for an array of times; always shape ``(T, 3)``.
+
+        Input is normalized before propagation: a scalar time becomes a
+        length-1 array (result shape ``(1, 3)``), an empty array yields
+        ``(0, 3)``, and anything with more than one dimension is
+        rejected.  The computation is fully vectorized — see
+        :meth:`states_at`.
+        """
+        positions, _ = self.states_at(times_s)
+        return positions
 
     @property
     def period_s(self) -> float:
         """Orbital period (two-body) in seconds."""
         return self.elements.period_s
+
+
+def _normalize_times(times_s) -> np.ndarray:
+    """Coerce a scalar/sequence of times to a 1-D float array.
+
+    Raises:
+        ValueError: When the input has more than one dimension.
+    """
+    times = np.asarray(times_s, dtype=float)
+    if times.ndim == 0:
+        times = times.reshape(1)
+    if times.ndim != 1:
+        raise ValueError(
+            f"times must be scalar or 1-D, got shape {times.shape}"
+        )
+    return times
+
+
+def batch_states(propagators: Sequence[KeplerPropagator],
+                 times_s) -> Tuple[np.ndarray, np.ndarray]:
+    """ECI states for a whole fleet over a whole time grid at once.
+
+    The heart of the vectorized sweep path: all satellites x all
+    timesteps in broadcast numpy operations.  Propagators sharing nothing
+    but code still vectorize over time individually; the common LEO case
+    (every satellite circular at the same altitude, as Walker generators
+    emit) additionally shares one eccentricity/semi-major-axis pass per
+    satellite.
+
+    Args:
+        propagators: One propagator per satellite (N of them).
+        times_s: Scalar or 1-D array of T simulation times.
+
+    Returns:
+        ``(positions, velocities)`` arrays of shape ``(N, T, 3)`` in km
+        and km/s.  ``N = 0`` or ``T = 0`` yield empty arrays of the
+        documented shape.
+    """
+    times = _normalize_times(times_s)
+    count = len(propagators)
+    positions = np.empty((count, times.shape[0], 3), dtype=float)
+    velocities = np.empty((count, times.shape[0], 3), dtype=float)
+    for index, propagator in enumerate(propagators):
+        pos, vel = propagator.states_at(times)
+        positions[index] = pos
+        velocities[index] = vel
+    return positions, velocities
+
+
+def batch_positions(propagators: Sequence[KeplerPropagator],
+                    times_s) -> np.ndarray:
+    """ECI positions for a fleet over a time grid; shape ``(N, T, 3)``."""
+    positions, _ = batch_states(propagators, times_s)
+    return positions

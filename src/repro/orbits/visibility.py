@@ -25,6 +25,77 @@ def slant_range(pos_a_km: np.ndarray, pos_b_km: np.ndarray) -> float:
     return float(np.linalg.norm(np.asarray(pos_a_km) - np.asarray(pos_b_km)))
 
 
+def pairwise_slant_ranges(positions_km: np.ndarray) -> np.ndarray:
+    """All pairwise distances for ``(N, 3)`` positions; shape ``(N, N)``.
+
+    One broadcast pass replacing the O(N^2) scalar :func:`slant_range`
+    loop in topology construction and relay-graph building.
+    """
+    pos = np.atleast_2d(np.asarray(positions_km, dtype=float))
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def line_of_sight_mask(pos_a_km: np.ndarray, pos_b_km: np.ndarray,
+                       grazing_altitude_km: float = 80.0) -> np.ndarray:
+    """Vectorized :func:`has_line_of_sight` over paired position rows.
+
+    Args:
+        pos_a_km: ``(..., 3)`` segment start positions.
+        pos_b_km: ``(..., 3)`` segment end positions (broadcastable
+            against ``pos_a_km``).
+        grazing_altitude_km: Minimum ray altitude.
+
+    Returns:
+        Boolean array of the broadcast shape (without the last axis):
+        True where the segment clears the atmosphere.
+    """
+    a = np.asarray(pos_a_km, dtype=float)
+    b = np.asarray(pos_b_km, dtype=float)
+    a, b = np.broadcast_arrays(a, b)
+    limit = EARTH_RADIUS_KM + grazing_altitude_km
+    d = b - a
+    dd = (d * d).sum(axis=-1)
+    # Closest point of each segment to the Earth's centre; degenerate
+    # (zero-length) segments test the endpoint itself.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(dd > 0.0, -(a * d).sum(axis=-1) / np.where(dd > 0.0, dd, 1.0), 0.0)
+    t = np.clip(t, 0.0, 1.0)
+    closest = a + t[..., None] * d
+    return np.sqrt((closest * closest).sum(axis=-1)) >= limit
+
+
+def pairwise_line_of_sight(positions_km: np.ndarray,
+                           grazing_altitude_km: float = 80.0) -> np.ndarray:
+    """Line-of-sight matrix for ``(N, 3)`` positions; shape ``(N, N)``."""
+    pos = np.atleast_2d(np.asarray(positions_km, dtype=float))
+    return line_of_sight_mask(pos[:, None, :], pos[None, :, :],
+                              grazing_altitude_km)
+
+
+def elevation_angles(ground_ecef_km: np.ndarray,
+                     satellite_ecef_km: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`elevation_angle`, radians.
+
+    Supports one ground point against ``(N, 3)`` satellites (returns
+    ``(N,)``) and paired ``(T, 3)`` vs ``(T, 3)`` rows (returns ``(T,)``)
+    — any broadcastable combination of ``(..., 3)`` shapes works.
+    Degenerate zero ranges report zenith, matching the scalar function.
+    """
+    ground = np.asarray(ground_ecef_km, dtype=float)
+    sats = np.asarray(satellite_ecef_km, dtype=float)
+    ground, sats = np.broadcast_arrays(ground, sats)
+    delta = sats - ground
+    range_km = np.sqrt((delta * delta).sum(axis=-1))
+    ground_norm = np.sqrt((ground * ground).sum(axis=-1))
+    denom = range_km * ground_norm
+    safe = denom > 0.0
+    sin_el = np.where(
+        safe, (delta * ground).sum(axis=-1) / np.where(safe, denom, 1.0), 1.0
+    )
+    return np.arcsin(np.clip(sin_el, -1.0, 1.0))
+
+
 def has_line_of_sight(pos_a_km: np.ndarray, pos_b_km: np.ndarray,
                       grazing_altitude_km: float = 80.0) -> bool:
     """True when the segment between two satellites clears the atmosphere.

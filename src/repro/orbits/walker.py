@@ -27,7 +27,7 @@ from repro.orbits.constants import (
     IRIDIUM_SATELLITE_COUNT,
 )
 from repro.orbits.elements import OrbitalElements
-from repro.orbits.kepler import KeplerPropagator
+from repro.orbits.kepler import KeplerPropagator, batch_positions
 
 _TWO_PI = 2.0 * math.pi
 
@@ -76,9 +76,16 @@ class WalkerConstellation:
 
     def positions_at(self, time_s: float, include_j2: bool = False) -> np.ndarray:
         """ECI positions of every satellite at ``time_s``; shape (N, 3)."""
-        return np.array(
-            [p.position_at(time_s) for p in self.propagators(include_j2)]
-        )
+        return batch_positions(self.propagators(include_j2), time_s)[:, 0, :]
+
+    def positions_over(self, times_s,
+                       include_j2: bool = False) -> np.ndarray:
+        """ECI positions over a whole time grid; shape ``(N, T, 3)``.
+
+        One :func:`~repro.orbits.kepler.batch_positions` broadcast pass —
+        the fast path for sweeps that sample many epochs.
+        """
+        return batch_positions(self.propagators(include_j2), times_s)
 
     def subset(self, count: int) -> "WalkerConstellation":
         """The first ``count`` satellites, preserving plane bookkeeping."""

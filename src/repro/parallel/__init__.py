@@ -1,0 +1,20 @@
+"""Deterministic parallel execution of experiment sweeps.
+
+The sweeps in this repo are embarrassingly parallel across their grid
+points (satellite counts, failure-rate rows, ablation variants) — but
+only once every point derives its randomness from the point itself
+instead of consuming a shared generator sequentially.  This package
+provides the two pieces that make the fan-out safe:
+
+* :func:`derive_seed` — a stable per-point seed, hashed from the base
+  seed plus the point coordinates, so a point's random stream is the
+  same whether it runs first, last, serially, or in another process.
+* :func:`run_grid` — runs a worker over a point grid either serially or
+  on a :class:`~concurrent.futures.ProcessPoolExecutor`, returning
+  results in point order.  Output is byte-identical for every ``jobs``
+  value.
+"""
+
+from repro.parallel.sweeps import derive_seed, run_grid
+
+__all__ = ["derive_seed", "run_grid"]

@@ -13,7 +13,6 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.phy.channel import free_space_path_loss_db, noise_power_dbw
 from repro.phy.linkbudget import LinkBudget

@@ -19,7 +19,7 @@ Three control protocols learn to limp instead of crash here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro import obs as _obs
 from repro.reliability.channel import LossyControlChannel

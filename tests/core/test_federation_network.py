@@ -11,11 +11,9 @@ from repro.core.interop import (
     medium_spacecraft,
 )
 from repro.core.network import OpenSpaceNetwork
-from repro.ground.station import GroundStation, default_station_network
+from repro.ground.station import default_station_network
 from repro.ground.user import UserTerminal
 from repro.orbits.coordinates import GeodeticPoint
-from repro.orbits.elements import OrbitalElements
-from repro.orbits.walker import iridium_like
 
 
 @pytest.fixture

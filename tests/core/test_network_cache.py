@@ -1,0 +1,161 @@
+"""Snapshot-cache correctness tests for :class:`OpenSpaceNetwork`.
+
+The cache is keyed by ``(time bucket, fault epoch, user set)``; these
+tests pin the contract: warm queries return the same object, fault-state
+changes invalidate implicitly, ``cache_size=0`` disables caching, time
+quantization buckets nearby instants, and ``refresh_edge_weights``
+recomputes link attributes without rebuilding topology.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.interop import SizeClass, build_fleet
+from repro.core.network import OpenSpaceNetwork
+from repro.ground.station import default_station_network
+from repro.ground.user import UserTerminal
+from repro.orbits.coordinates import GeodeticPoint
+from repro.orbits.walker import iridium_like
+
+
+def _make_network(**kwargs):
+    fleet = build_fleet(iridium_like(), "cache-op", SizeClass.MEDIUM)
+    return OpenSpaceNetwork(fleet, default_station_network(), **kwargs)
+
+
+def _make_user(user_id="u-cache"):
+    return UserTerminal(user_id, GeodeticPoint(-1.29, 36.82), "cache-op",
+                        min_elevation_deg=10.0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return _make_network()
+
+
+class TestSnapshotCache:
+    def test_warm_query_returns_same_object(self, network):
+        first = network.snapshot(100.0)
+        assert network.snapshot(100.0) is first
+
+    def test_distinct_times_get_distinct_snapshots(self, network):
+        assert network.snapshot(0.0) is not network.snapshot(60.0)
+
+    def test_user_snapshot_cached_separately_from_base(self, network):
+        user = _make_user()
+        base = network.snapshot(200.0)
+        with_user = network.snapshot(200.0, users=[user])
+        assert with_user is not base
+        assert user.user_id in with_user.graph
+        assert user.user_id not in base.graph
+        assert network.snapshot(200.0, users=[user]) is with_user
+
+    def test_user_overlay_matches_cold_build(self):
+        # A user snapshot assembled incrementally on top of a cached base
+        # must equal one built from scratch with caching disabled.
+        user = _make_user()
+        warm = _make_network()
+        warm.snapshot(300.0)  # prime the base
+        incremental = warm.snapshot(300.0, users=[user])
+        cold = _make_network(snapshot_cache_size=0).snapshot(
+            300.0, users=[user]
+        )
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            incremental.graph, cold.graph
+        )
+        assert set(incremental.graph.nodes) == set(cold.graph.nodes)
+        assert set(incremental.graph.edges) == set(cold.graph.edges)
+        assert matcher.is_isomorphic()
+
+    def test_fault_state_change_invalidates(self):
+        net = _make_network()
+        before = net.snapshot(0.0)
+        victim = net.satellites[0].satellite_id
+        net.set_fault_state(failed_satellites=[victim])
+        degraded = net.snapshot(0.0)
+        assert degraded is not before
+        assert victim not in degraded.graph
+        net.clear_fault_state()
+        recovered = net.snapshot(0.0)
+        assert recovered is not degraded
+        assert victim in recovered.graph
+
+    def test_fault_epoch_monotone(self):
+        net = _make_network()
+        epoch0 = net.fault_epoch
+        net.set_fault_state(failed_satellites=[net.satellites[0].satellite_id])
+        epoch1 = net.fault_epoch
+        net.clear_fault_state()
+        assert epoch0 < epoch1 < net.fault_epoch
+
+    def test_explicit_invalidation(self):
+        net = _make_network()
+        first = net.snapshot(0.0)
+        net.invalidate_snapshot_cache()
+        assert net.snapshot(0.0) is not first
+
+    def test_cache_size_zero_disables(self):
+        net = _make_network(snapshot_cache_size=0)
+        assert net.snapshot(0.0) is not net.snapshot(0.0)
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ValueError, match="cache size"):
+            _make_network(snapshot_cache_size=-1)
+
+    def test_lru_eviction_bounds_memory(self):
+        net = _make_network(snapshot_cache_size=2)
+        oldest = net.snapshot(0.0)
+        net.snapshot(60.0)
+        net.snapshot(120.0)  # evicts the t=0 entry
+        assert len(net._snapshot_cache) == 2
+        assert net.snapshot(0.0) is not oldest
+
+    def test_quantum_buckets_nearby_times(self):
+        net = _make_network(snapshot_cache_quantum_s=10.0)
+        snap = net.snapshot(100.0)
+        assert net.snapshot(104.0) is snap
+        assert net.snapshot(94.0) is not snap
+
+    def test_unhashable_user_sets_bypass_cache(self, network):
+        user = _make_user("u-bypass")
+        first = network.snapshot(400.0, users=[user])
+        # Same terminal identity -> cache hit; a distinct equal-by-value
+        # terminal object is a different key, so it rebuilds.
+        assert network.snapshot(400.0, users=[user]) is first
+
+
+class TestRefreshEdgeWeights:
+    def test_refresh_recomputes_without_rebuilding(self, network):
+        snap = network.snapshot(500.0)
+        edges_before = set(snap.graph.edges)
+        refreshed = network.refresh_edge_weights(snap)
+        ground_links = [
+            (a, b) for a, b, d in snap.graph.edges(data=True)
+            if d.get("kind") == "ground_link"
+        ]
+        assert refreshed == len(ground_links) > 0
+        assert set(snap.graph.edges) == edges_before
+
+    def test_refresh_covers_user_access_links(self):
+        net = _make_network(snapshot_cache_size=0)
+        user = _make_user("u-refresh")
+        snap = net.snapshot(0.0, users=[user])
+        access = [
+            (a, b) for a, b, d in snap.graph.edges(data=True)
+            if d.get("kind") == "access_link"
+        ]
+        refreshed = net.refresh_edge_weights(snap, users=[user])
+        ground = [
+            (a, b) for a, b, d in snap.graph.edges(data=True)
+            if d.get("kind") == "ground_link"
+        ]
+        assert refreshed == len(ground) + len(access)
+        assert len(access) > 0
+
+    def test_refresh_preserves_route_viability(self, network):
+        user = _make_user("u-route")
+        snap = network.snapshot(600.0, users=[user])
+        stations = snap.nodes_of_kind("ground_station")
+        path_before = snap.route(user.user_id, stations[0])
+        network.refresh_edge_weights(snap, users=[user])
+        assert snap.route(user.user_id, stations[0]) == path_before

@@ -3,12 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.core.policy import (
-    DEFAULT_REGIONS,
-    PolicyRegistry,
-    Region,
-    apply_policy_to_graph,
-)
+from repro.core.policy import PolicyRegistry, Region, apply_policy_to_graph
 from repro.ground.station import default_station_network
 from repro.orbits.coordinates import GeodeticPoint
 

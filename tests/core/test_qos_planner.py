@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.interop import SizeClass
 from repro.core.qos_planner import (
     DEFAULT_CLASSES,
     QosForecast,

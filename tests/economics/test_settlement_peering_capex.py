@@ -11,7 +11,7 @@ from repro.economics.capex import (
 )
 from repro.economics.ledger import TrafficLedger
 from repro.economics.peering import PeeringAdvisor
-from repro.economics.settlement import Invoice, RateCard, SettlementEngine
+from repro.economics.settlement import RateCard, SettlementEngine
 from repro.orbits.walker import iridium_like
 
 

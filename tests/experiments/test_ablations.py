@@ -1,6 +1,5 @@
 """Tests for the ablation experiment drivers."""
 
-import math
 
 import pytest
 

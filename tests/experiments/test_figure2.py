@@ -74,7 +74,7 @@ class TestFigure2c:
     @pytest.fixture(scope="class")
     def rows(self):
         return figure_2c_coverage(
-            satellite_counts=[1, 4, 12, 25, 50, 80], trials=4, seed=7,
+            satellite_counts=[1, 4, 12, 25, 50, 80], trials=6, seed=7,
         )
 
     def test_union_coverage_monotone(self, rows):

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.ground.scheduling import (
-    AntennaScheduler,
-    ContactRequest,
-    Reservation,
-    ScheduleResult,
-)
+from repro.ground.scheduling import AntennaScheduler, ContactRequest
 from repro.orbits.contact import ContactWindow
 
 

@@ -7,7 +7,6 @@ routed paths produce billable carrier sequences, honest accounting never
 mismatches, and money is conserved.
 """
 
-import networkx as nx
 import numpy as np
 import pytest
 

@@ -11,7 +11,6 @@ from repro.isl.link import (
 )
 from repro.phy.optical import OpticalTerminal
 from repro.phy.rf import (
-    RFTerminal,
     standard_ku_space_terminal,
     standard_sband_isl_terminal,
     standard_uhf_isl_terminal,

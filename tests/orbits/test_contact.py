@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.orbits.contact import ContactWindow, contact_windows, isl_feasibility_schedule

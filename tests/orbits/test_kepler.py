@@ -9,9 +9,11 @@ from repro.orbits.constants import EARTH_MU_KM3_S2, EARTH_RADIUS_KM
 from repro.orbits.elements import OrbitalElements
 from repro.orbits.kepler import (
     KeplerPropagator,
+    batch_positions,
     mean_motion,
     orbital_period,
     solve_kepler,
+    solve_kepler_array,
     true_anomaly_from_eccentric,
 )
 
@@ -139,3 +141,57 @@ class TestJ2:
         prop = KeplerPropagator(el, include_j2=True)
         r = np.linalg.norm(prop.position_at(5000.0))
         assert r == pytest.approx(el.semi_major_axis_km, rel=1e-9)
+
+
+class TestShapeContracts:
+    """The (T, 3) contract: positions_at always returns a matrix."""
+
+    def _prop(self):
+        el = OrbitalElements.circular(780.0, inclination_rad=1.0)
+        return KeplerPropagator(el)
+
+    def test_scalar_time_yields_one_row(self):
+        out = self._prop().positions_at(120.0)
+        assert out.shape == (1, 3)
+        assert np.allclose(out[0], self._prop().position_at(120.0))
+
+    def test_python_int_time_yields_one_row(self):
+        assert self._prop().positions_at(0).shape == (1, 3)
+
+    def test_empty_time_array_yields_zero_rows(self):
+        out = self._prop().positions_at(np.array([]))
+        assert out.shape == (0, 3)
+
+    def test_list_input_matches_array_input(self):
+        prop = self._prop()
+        from_list = prop.positions_at([0.0, 60.0])
+        from_array = prop.positions_at(np.array([0.0, 60.0]))
+        assert from_list.shape == (2, 3)
+        assert np.array_equal(from_list, from_array)
+
+    def test_multidimensional_times_rejected(self):
+        with pytest.raises(ValueError, match="scalar or 1-D"):
+            self._prop().positions_at(np.zeros((2, 2)))
+
+    def test_batch_positions_shape_and_agreement(self):
+        props = [self._prop(), self._prop()]
+        times = np.array([0.0, 300.0, 600.0])
+        batched = batch_positions(props, times)
+        assert batched.shape == (2, 3, 3)
+        for i, prop in enumerate(props):
+            assert np.allclose(batched[i], prop.positions_at(times),
+                               atol=1e-9)
+
+    def test_batch_positions_empty_fleet(self):
+        assert batch_positions([], np.array([0.0, 1.0])).shape == (0, 2, 3)
+
+    def test_solve_kepler_array_matches_scalar(self):
+        mean_anomalies = np.linspace(0.0, 2.0 * math.pi, 17)
+        for ecc in (0.0, 0.01, 0.3, 0.85):
+            vectorized = solve_kepler_array(mean_anomalies, ecc)
+            scalar = np.array([solve_kepler(m, ecc) for m in mean_anomalies])
+            assert np.allclose(vectorized, scalar, atol=1e-9)
+
+    def test_solve_kepler_array_preserves_input_shape(self):
+        grid = np.linspace(0.0, 6.0, 12).reshape(3, 4)
+        assert solve_kepler_array(grid, 0.1).shape == (3, 4)

@@ -6,7 +6,6 @@ import pytest
 
 from repro.orbits.elements import OrbitalElements
 from repro.orbits.tle import (
-    TwoLineElement,
     catalog_from_constellation,
     elements_from_tle,
     emit_tle,

@@ -1,9 +1,6 @@
 """Property-based tests for protocol layers (PHY, MAC, security)."""
 
-import math
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,8 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.routing.proactive import ProactiveRouter, RoutingTable, StaticRoute
-from repro.routing.metrics import path_metrics
+from repro.routing.proactive import ProactiveRouter, RoutingTable
 
 
 class FakeSnapshot:

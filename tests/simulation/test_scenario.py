@@ -1,6 +1,5 @@
 """Tests for scenario configuration and execution."""
 
-import pytest
 
 from repro.core.interop import SizeClass
 from repro.simulation.scenario import Scenario

@@ -9,7 +9,6 @@ terminal.
 import re
 from pathlib import Path
 
-import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 
