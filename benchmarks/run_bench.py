@@ -1,15 +1,20 @@
 """Benchmark harness for the vectorized/cached/parallel sweep stack.
 
-Measures three things and writes them to ``BENCH_parallel.json``:
+Measures four things and writes them to ``BENCH_parallel.json``:
 
 1. **Vectorization speedup** — scalar reference implementations (the
    pre-vectorization per-element loops, kept here as the honest
    baseline) against the broadcast paths for orbit propagation, relay
    mesh construction, and a Figure 2(b)-shaped sweep.
-2. **Snapshot-cache speedup** — repeated ``OpenSpaceNetwork.snapshot``
+2. **Routing-backend speedup** — the networkx shortest-path stack
+   against the compiled-sparse (CSR + batched multi-source Dijkstra)
+   backend, for all-pairs proactive precompute and for the Figure 2(b)
+   relay hot path.
+3. **Snapshot-cache speedup** — repeated ``OpenSpaceNetwork.snapshot``
    queries with the LRU cache on vs off.
-3. **Parallel determinism** — SHA-256 digests of each sweep's output at
-   ``jobs=1`` and ``jobs=2``; they must be identical.
+4. **Determinism** — SHA-256 digests of each sweep's output at
+   ``jobs=1`` vs ``jobs=2`` and on the CSR vs networkx backend; they
+   must be identical.
 
 Speedups are wall-clock *ratios* measured on the same machine in the
 same run, so they transfer across hardware; ``--check`` gates the
@@ -41,9 +46,12 @@ from repro.core.network import OpenSpaceNetwork
 from repro.experiments.figure2 import (
     DEFAULT_GATEWAY_SITE,
     DEFAULT_USER_SITE,
+    _relay_latency_batch_s,
     _relay_latency_s,
     figure_2b_latency,
+    figure_2c_coverage,
 )
+from repro.experiments.reliability import reliability_sweep
 from repro.experiments.resilience_dynamic import dynamic_resilience_sweep
 from repro.ground.station import default_station_network
 from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
@@ -54,6 +62,8 @@ from repro.orbits.visibility import (
     slant_range,
 )
 from repro.orbits.walker import iridium_like, random_constellation
+from repro.routing.csr import default_backend, set_default_backend
+from repro.routing.proactive import ProactiveRouter
 
 HERE = Path(__file__).resolve().parent
 DEFAULT_OUTPUT = HERE / "BENCH_parallel.json"
@@ -190,6 +200,60 @@ def bench_figure2_sweep() -> dict:
             "speedup": scalar_s / optimized_s}
 
 
+def bench_routing_precompute() -> dict:
+    """All-pairs proactive precompute: networkx vs the CSR backend.
+
+    This is the acceptance measurement for the compiled-sparse routing
+    backend: batched multi-source Dijkstra plus lazy route
+    materialization must beat the eager per-source networkx loop by
+    >= 5x on an all-pairs table at reference-fleet scale.
+    """
+    stations = default_station_network()
+    fleet = build_fleet(iridium_like(), "bench", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, stations)
+    snapshots = [network.snapshot(t) for t in (0.0, 300.0)]
+
+    def precompute(backend):
+        table = ProactiveRouter(backend=backend).precompute(snapshots)
+        return table.route_count
+
+    counts = {backend: precompute(backend)
+              for backend in ("networkx", "csr")}
+    assert counts["networkx"] == counts["csr"], counts
+    nx_s = _timeit(lambda: precompute("networkx"), repeat=2)
+    csr_s = _timeit(lambda: precompute("csr"), repeat=2)
+    return {"scalar_s": nx_s, "vectorized_s": csr_s,
+            "speedup": nx_s / csr_s}
+
+
+def bench_routing_relay() -> dict:
+    """Figure 2(b) relay hot path: per-epoch networkx vs batched CSR.
+
+    One trial's worth of epochs at the largest swept fleet size, with
+    propagation excluded so the ratio isolates the shortest-path work
+    the CSR backend replaces.
+    """
+    count, epochs = 70, 12
+    rng = np.random.default_rng(7)
+    times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
+    positions_all = random_constellation(count, rng).positions_over(times)
+    user_ecis = np.stack([ecef_to_eci(DEFAULT_USER_SITE.ecef(), float(t))
+                          for t in times])
+    gateway_ecis = np.stack([ecef_to_eci(DEFAULT_GATEWAY_SITE.ecef(),
+                                         float(t)) for t in times])
+
+    def networkx_epochs():
+        return [_relay_latency_s(positions_all[:, k, :], user_ecis[k],
+                                 gateway_ecis[k])
+                for k in range(epochs)]
+
+    nx_s = _timeit(networkx_epochs)
+    csr_s = _timeit(lambda: _relay_latency_batch_s(
+        positions_all, user_ecis, gateway_ecis))
+    return {"scalar_s": nx_s, "vectorized_s": csr_s,
+            "speedup": nx_s / csr_s}
+
+
 def bench_snapshot_cache() -> dict:
     """Repeated snapshot queries: LRU cache on vs off."""
     stations = default_station_network()
@@ -231,11 +295,46 @@ def bench_determinism(jobs: int) -> dict:
     }
 
 
+def bench_backend_equivalence() -> dict:
+    """Digest each seeded sweep on the CSR and networkx backends.
+
+    The CSR backend must be a pure performance change: every sweep
+    output is bitwise identical to the networkx reference.
+    """
+
+    def both(fn):
+        original = default_backend()
+        digests = {}
+        try:
+            for backend in ("csr", "networkx"):
+                set_default_backend(backend)
+                digests[backend] = _digest(fn())
+        finally:
+            set_default_backend(original)
+        digests["match"] = digests["csr"] == digests["networkx"]
+        return digests
+
+    return {
+        "figure2b": both(lambda: figure_2b_latency(
+            satellite_counts=(10, 25), trials=2, epochs=3, seed=42,
+            jobs=1)),
+        "figure2c": both(lambda: figure_2c_coverage(
+            satellite_counts=(4, 12), trials=2, seed=42, jobs=1)),
+        "faults": both(lambda: dynamic_resilience_sweep(
+            mtbf_hours=(1.0,), horizon_s=1200.0, epochs=3, jobs=1)),
+        "reliability": both(lambda: reliability_sweep(
+            loss_rates=(0.0, 0.2), flap_mtbf_hours=(0.0,),
+            horizon_s=600.0, probes=2, jobs=1)),
+    }
+
+
 def run_all(jobs: int) -> dict:
     benchmarks = {
         "propagation": bench_propagation(),
         "relay_mesh": bench_relay_mesh(),
         "figure2_sweep": bench_figure2_sweep(),
+        "routing_precompute": bench_routing_precompute(),
+        "routing_relay": bench_routing_relay(),
         "snapshot_cache": bench_snapshot_cache(),
     }
     return {
@@ -243,6 +342,7 @@ def run_all(jobs: int) -> dict:
         "jobs": jobs,
         "benchmarks": benchmarks,
         "determinism": bench_determinism(jobs),
+        "backend_equivalence": bench_backend_equivalence(),
     }
 
 
@@ -253,6 +353,11 @@ def check(result: dict, baseline: dict, tolerance: float) -> list:
         if not case["match"]:
             problems.append(
                 f"determinism: {name} parallel digest diverges from serial"
+            )
+    for name, case in result.get("backend_equivalence", {}).items():
+        if not case["match"]:
+            problems.append(
+                f"backend: {name} CSR digest diverges from networkx"
             )
     for name, base_case in baseline.get("benchmarks", {}).items():
         current = result["benchmarks"].get(name)
@@ -298,6 +403,9 @@ def main(argv=None) -> int:
     for name, case in result["determinism"].items():
         status = "ok" if case["match"] else "DIVERGED"
         print(f"  determinism {name}: {status}")
+    for name, case in result["backend_equivalence"].items():
+        status = "ok" if case["match"] else "DIVERGED"
+        print(f"  backend {name}: {status}")
 
     if args.write_baseline:
         # Cache-hit ratios reach four digits and jitter wildly with

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -28,7 +28,13 @@ from repro.orbits.kepler import KeplerPropagator, batch_positions
 from repro.orbits.visibility import elevation_angles
 from repro.phy.modulation import achievable_rate_bps
 from repro.phy.rf import RFTerminal, rf_link_budget
+from repro.routing.csr import (
+    BACKEND_CSR,
+    CsrAdjacency,
+    resolve_backend,
+)
 from repro.routing.metrics import (
+    PROPAGATION_ONLY,
     EdgeCostModel,
     RouteMetrics,
     path_metrics,
@@ -54,11 +60,44 @@ class NetworkSnapshot:
     time_s: float
     graph: nx.Graph
     isl_snapshot: TopologySnapshot
+    #: Per-cost-model CSR adjacencies, built lazily and kept alongside the
+    #: snapshot so every router sharing the snapshot shares the arrays.
+    _csr_cache: Dict[EdgeCostModel, CsrAdjacency] = field(
+        default_factory=dict, repr=False, compare=False,
+    )
+
+    def csr_adjacency(self, cost_model: Optional[EdgeCostModel] = None,
+                      ) -> CsrAdjacency:
+        """The snapshot's CSR adjacency under a cost model (cached)."""
+        model = cost_model or PROPAGATION_ONLY
+        adjacency = self._csr_cache.get(model)
+        if adjacency is None:
+            adjacency = CsrAdjacency.from_graph(self.graph, weight=model)
+            self._csr_cache[model] = adjacency
+        return adjacency
+
+    def refresh_csr(self) -> None:
+        """Recompute cached CSR weight arrays from the live edge dicts.
+
+        Called after in-place edge-attribute updates (see
+        :meth:`OpenSpaceNetwork.refresh_edge_weights`) so cached
+        adjacencies track the graph without a structural rebuild.
+        """
+        for model, adjacency in self._csr_cache.items():
+            adjacency.refresh_weights(model)
 
     def route(self, source: str, target: str,
-              cost_model: Optional[EdgeCostModel] = None) -> Optional[RouteMetrics]:
+              cost_model: Optional[EdgeCostModel] = None,
+              backend: Optional[str] = None) -> Optional[RouteMetrics]:
         """Cheapest route between two nodes, or None when disconnected."""
-        path = shortest_path(self.graph, source, target, cost_model)
+        if resolve_backend(backend) == BACKEND_CSR:
+            if source not in self.graph or target not in self.graph:
+                return None
+            adjacency = self.csr_adjacency(cost_model)
+            path = adjacency.single_source(source).path(source, target)
+        else:
+            path = shortest_path(self.graph, source, target, cost_model,
+                                 backend=backend)
         if path is None:
             return None
         return path_metrics(self.graph, path)
@@ -72,11 +111,29 @@ class NetworkSnapshot:
     def nearest_ground_station_route(
         self, source: str,
         cost_model: Optional[EdgeCostModel] = None,
+        backend: Optional[str] = None,
     ) -> Optional[RouteMetrics]:
-        """Best route from a node to any ground station."""
+        """Best route from a node to any ground station.
+
+        With the CSR backend this costs one single-source Dijkstra (the
+        snapshot memoizes it per source) instead of one per station.
+        """
+        stations = self.nodes_of_kind("ground_station")
         best: Optional[RouteMetrics] = None
-        for station in self.nodes_of_kind("ground_station"):
-            metrics = self.route(source, station, cost_model)
+        if resolve_backend(backend) == BACKEND_CSR:
+            if source not in self.graph:
+                return None
+            paths = self.csr_adjacency(cost_model).single_source(source)
+            for station in stations:
+                path = paths.path(source, station)
+                if path is None:
+                    continue
+                metrics = path_metrics(self.graph, path)
+                if best is None or metrics.total_delay_s < best.total_delay_s:
+                    best = metrics
+            return best
+        for station in stations:
+            metrics = self.route(source, station, cost_model, backend=backend)
             if metrics is None:
                 continue
             if best is None or metrics.total_delay_s < best.total_delay_s:
@@ -532,6 +589,10 @@ class OpenSpaceNetwork:
                     data["delay_s"] = distance / SPEED_OF_LIGHT_KM_S
                     data["capacity_bps"] = capacity
                     refreshed += 1
+        if refreshed:
+            # Cached CSR adjacencies hold the edge dicts by reference;
+            # recompute their weight arrays in place (no rebuild).
+            snap.refresh_csr()
         return refreshed
 
     def user_to_internet_latency_s(self, user: UserTerminal, time_s: float,

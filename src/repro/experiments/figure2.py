@@ -37,6 +37,7 @@ from repro.orbits.visibility import (
     cluster_coverage_fraction,
     coverage_fraction,
     elevation_angles,
+    line_of_sight_mask,
     pairwise_line_of_sight,
     pairwise_slant_ranges,
     worst_case_coverage_fraction,
@@ -44,6 +45,7 @@ from repro.orbits.visibility import (
 from repro.orbits.walker import iridium_like, random_constellation
 from repro.parallel import derive_seed, run_grid
 from repro.phy.rf import standard_sband_isl_terminal
+from repro.routing.csr import BACKEND_CSR, resolve_backend
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import SeriesCollector
 
@@ -172,6 +174,90 @@ def _relay_latency_s(positions: np.ndarray, user_eci: np.ndarray,
             return None
 
 
+def _relay_latency_batch_s(positions_all: np.ndarray,
+                           user_ecis: np.ndarray,
+                           gateway_ecis: np.ndarray,
+                           min_elevation_deg: float = 10.0,
+                           max_isl_range_km: float = 6000.0) -> np.ndarray:
+    """All epochs of one trial's relay measurement in one csgraph call.
+
+    Builds a block-diagonal CSR matrix — one disjoint relay graph per
+    epoch, ``N + 2`` nodes each (satellites, user, gateway) — straight
+    from the vectorized elevation/range/line-of-sight masks, with no
+    intermediate ``networkx`` graph, then answers every epoch's
+    user→gateway distance with one multi-source Dijkstra.  Per-edge
+    weights are elementwise ``range / c`` divisions of the same float64
+    values the scalar path uses, so distances are bit-identical to
+    :func:`_relay_latency_s`.
+
+    Args:
+        positions_all: ``(N, K, 3)`` satellite ECI positions over epochs.
+        user_ecis: ``(K, 3)`` user ECI positions per epoch.
+        gateway_ecis: ``(K, 3)`` gateway positions per epoch.
+
+    Returns:
+        ``(K,)`` one-way latencies in seconds; ``inf`` where unreachable.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+    count, epochs = positions_all.shape[0], positions_all.shape[1]
+    stride = count + 2
+    mask_rad = math.radians(min_elevation_deg)
+    # (K, N, 3) with the epoch axis leading; every geometry pass below
+    # broadcasts over it, so no Python work scales with epoch count.
+    pts = np.ascontiguousarray(positions_all.transpose(1, 0, 2))
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    data: List[np.ndarray] = []
+    for offset, ground_ecis in ((count, user_ecis), (count + 1, gateway_ecis)):
+        ground = np.asarray(ground_ecis, dtype=float)[:, None, :]
+        elevations = elevation_angles(ground, pts)
+        deltas = pts - ground
+        ranges = np.sqrt((deltas * deltas).sum(axis=-1))
+        vis_epoch, vis_sat = np.nonzero(elevations >= mask_rad)
+        if vis_epoch.size == 0:
+            continue
+        ground_nodes = vis_epoch * stride + offset
+        sat_nodes = vis_epoch * stride + vis_sat
+        weights = ranges[vis_epoch, vis_sat] / SPEED_OF_LIGHT_KM_S
+        rows.extend((ground_nodes, sat_nodes))
+        cols.extend((sat_nodes, ground_nodes))
+        data.extend((weights, weights))
+    if count >= 2:
+        # Candidate pairs: upper triangle only, with the line-of-sight
+        # test (the expensive segment geometry) restricted to pairs that
+        # already pass the range gate.  Same elementwise float ops on the
+        # same values as the per-epoch scalar path, so same bits.
+        rows_idx, cols_idx = np.triu_indices(count, k=1)
+        diff = pts[:, rows_idx, :] - pts[:, cols_idx, :]
+        distances = np.sqrt((diff * diff).sum(axis=-1))
+        in_epoch, in_pair = np.nonzero(distances <= max_isl_range_km)
+        clear = line_of_sight_mask(pts[in_epoch, rows_idx[in_pair]],
+                                   pts[in_epoch, cols_idx[in_pair]])
+        keep_epoch, keep_pair = in_epoch[clear], in_pair[clear]
+        isl_rows = keep_epoch * stride + rows_idx[keep_pair]
+        isl_cols = keep_epoch * stride + cols_idx[keep_pair]
+        weights = distances[keep_epoch, keep_pair] / SPEED_OF_LIGHT_KM_S
+        rows.extend((isl_rows, isl_cols))
+        cols.extend((isl_cols, isl_rows))
+        data.extend((weights, weights))
+    size = epochs * stride
+    if rows:
+        row_arr = np.concatenate(rows)
+        col_arr = np.concatenate(cols)
+        data_arr = np.concatenate(data).astype(np.float64)
+    else:
+        row_arr = col_arr = np.empty(0, dtype=np.int64)
+        data_arr = np.empty(0, dtype=np.float64)
+    matrix = csr_matrix((data_arr, (row_arr, col_arr)), shape=(size, size))
+    sources = np.arange(epochs) * stride + count
+    with _obs.span("routing.relay.shortest_path_batch",
+                   epochs=epochs, nodes=size, edges=int(data_arr.size // 2)):
+        dist = _csgraph_dijkstra(matrix, directed=True, indices=sources)
+    return dist[np.arange(epochs), sources + 1]
+
+
 def _figure_2b_point(args: tuple) -> Dict:
     """One Figure 2(b) sweep point: all trials/epochs for one count.
 
@@ -180,7 +266,7 @@ def _figure_2b_point(args: tuple) -> Dict:
     seed, so results are identical at any job count.
     """
     (count, trials, epochs, point_seed, altitude_km,
-     user_site, gateway_site) = args
+     user_site, gateway_site, backend) = args
     rng = np.random.default_rng(point_seed)
     epoch_times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
     recorder = _obs.active()
@@ -188,15 +274,21 @@ def _figure_2b_point(args: tuple) -> Dict:
     reached = 0
     total = 0
 
-    def sample_epoch(positions: np.ndarray, time_s: float) -> None:
+    def sample_epoch(positions: np.ndarray, time_s: float,
+                     precomputed_s: Optional[float] = None) -> None:
         """Evaluate one (constellation, epoch) relay measurement."""
         nonlocal reached, total
         total += 1
-        user_eci = ecef_to_eci(user_site.ecef(), time_s)
-        gateway_eci = ecef_to_eci(gateway_site.ecef(), time_s)
-        with recorder.phase("figure2b.relay_path"):
-            latency = _relay_latency_s(positions, user_eci, gateway_eci,
-                                       min_elevation_deg=0.0)
+        if precomputed_s is not None:
+            # CSR backend: this epoch's latency came from the trial's
+            # batched csgraph call; the event just records it.
+            latency = precomputed_s if math.isfinite(precomputed_s) else None
+        else:
+            user_eci = ecef_to_eci(user_site.ecef(), time_s)
+            gateway_eci = ecef_to_eci(gateway_site.ecef(), time_s)
+            with recorder.phase("figure2b.relay_path"):
+                latency = _relay_latency_s(positions, user_eci, gateway_eci,
+                                           min_elevation_deg=0.0)
         if latency is not None:
             samples.append(latency * 1000.0)
             reached += 1
@@ -204,23 +296,44 @@ def _figure_2b_point(args: tuple) -> Dict:
                 recorder.observe("figure2b.latency_ms",
                                  latency * 1000.0, label=str(count))
 
+    use_csr = backend == BACKEND_CSR
     with recorder.span("experiment.figure2b.sweep_point",
-                       satellites=count, trials=trials, epochs=epochs):
+                       satellites=count, trials=trials, epochs=epochs,
+                       backend=backend):
         for _ in range(trials):
             constellation = random_constellation(count, rng,
                                                  altitude_km=altitude_km)
             # One broadcast propagation covers every epoch of the trial.
             with recorder.phase("figure2b.propagate"):
                 positions_all = constellation.positions_over(epoch_times)
+            batch_latencies = None
+            if use_csr:
+                user_ecis = np.stack([
+                    ecef_to_eci(user_site.ecef(), float(t))
+                    for t in epoch_times
+                ])
+                gateway_ecis = np.stack([
+                    ecef_to_eci(gateway_site.ecef(), float(t))
+                    for t in epoch_times
+                ])
+                with recorder.phase("figure2b.relay_path"):
+                    batch_latencies = _relay_latency_batch_s(
+                        positions_all, user_ecis, gateway_ecis,
+                        min_elevation_deg=0.0,
+                    )
             # The epoch samples run as discrete events so the sweep
             # exercises (and is measured through) the same engine the
             # protocol simulations use.
             engine = SimulationEngine()
             for k, time_s in enumerate(epoch_times):
+                precomputed = (
+                    float(batch_latencies[k])
+                    if batch_latencies is not None else None
+                )
                 engine.schedule(
                     float(time_s),
-                    lambda pos=positions_all[:, k, :], t=float(time_s):
-                        sample_epoch(pos, t),
+                    lambda pos=positions_all[:, k, :], t=float(time_s),
+                        pre=precomputed: sample_epoch(pos, t, pre),
                     label="figure2b.epoch",
                 )
             engine.run()
@@ -236,7 +349,8 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
                       altitude_km: float = IRIDIUM_ALTITUDE_KM,
                       user_site: GeodeticPoint = DEFAULT_USER_SITE,
                       gateway_site: GeodeticPoint = DEFAULT_GATEWAY_SITE,
-                      jobs: int = 1) -> Dict:
+                      jobs: int = 1,
+                      backend: Optional[str] = None) -> Dict:
     """Propagation latency vs constellation size (paper Figure 2(b)).
 
     For each satellite count, ``trials`` random constellations are drawn;
@@ -249,7 +363,10 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
 
     Each satellite count is an independent sweep point with its own
     derived seed, so ``jobs > 1`` fans points across processes without
-    changing any value in the result.
+    changing any value in the result.  ``backend`` picks the shortest-path
+    implementation (``"csr"`` batches every epoch of a trial into one
+    :func:`scipy.sparse.csgraph.dijkstra` call; ``"networkx"`` is the
+    per-epoch reference); both produce bit-identical latencies.
 
     Returns:
         ``{"series": [...rows...], "reachability": {count: fraction}}``
@@ -260,10 +377,13 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
         raise ValueError(f"need at least one trial, got {trials}")
     if epochs < 1:
         raise ValueError(f"need at least one epoch, got {epochs}")
+    # Resolve the backend here so worker processes get a concrete name in
+    # their args rather than relying on inheriting the parent's default.
+    backend = resolve_backend(backend)
     points = [
         (int(count), trials, epochs,
          derive_seed(seed, "figure2b", int(count)),
-         altitude_km, user_site, gateway_site)
+         altitude_km, user_site, gateway_site, backend)
         for count in satellite_counts
     ]
     results = run_grid(_figure_2b_point, points, jobs=jobs, label="figure2b")

@@ -1,0 +1,412 @@
+"""Compiled-sparse (CSR) routing backend.
+
+Every routing layer in the stack reduces to the same primitive: shortest
+paths over a snapshot graph whose edges carry additive costs.  The
+networkx implementation runs a Python binary heap per source; this module
+compiles a snapshot into an index-mapped CSR adjacency (node→int index
+table plus ``indptr``/``indices``/``data`` arrays) and answers **batched
+multi-source Dijkstra** through :func:`scipy.sparse.csgraph.dijkstra` —
+one C call for any number of sources, with paths reconstructed lazily
+from the predecessor matrix.
+
+This is the pre-computation the paper says proactive routing should make
+cheap ("pre-computation of static routes between any set of satellites
+and fixed ground infrastructure", §2.3): the contact plan for a whole
+epoch is two dense arrays, not a dict of path objects.
+
+Backend selection
+-----------------
+
+``"csr"`` (the default whenever scipy is importable) and ``"networkx"``
+(the pure-Python reference, kept both as a fallback for scipy-less
+environments and as the digest-equality oracle the test suite compares
+against).  Consumers accept a ``backend=`` argument and resolve ``None``
+through :func:`resolve_backend`, so one :func:`set_default_backend` call
+(or the ``--routing-backend`` CLI flag) switches the whole stack.
+
+Determinism
+-----------
+
+The CSR build is fully deterministic: nodes are indexed in graph
+insertion order and each row's neighbors are sorted by index (a stable
+lexsort over ``(row, col)``), so repeated builds of the same snapshot
+produce byte-identical arrays and scipy's Dijkstra returns the same
+distances and predecessors every time.  Distances are exactly equal to
+the networkx backend's (same IEEE additions along the same unique
+shortest path); where several equal-cost paths exist the two backends
+may pick different ones, but always with identical path cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.routing.metrics import EdgeCostModel, PROPAGATION_ONLY
+
+try:  # scipy is a core dependency, but the networkx backend keeps the
+    # stack alive (and the digest oracle honest) when it is absent.
+    from scipy.sparse import csr_matrix as _scipy_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_csr_matrix = None
+    _scipy_dijkstra = None
+    HAVE_SCIPY = False
+
+#: scipy.sparse.csgraph's "no predecessor" sentinel.
+NO_PREDECESSOR = -9999
+
+BACKEND_CSR = "csr"
+BACKEND_NETWORKX = "networkx"
+_BACKENDS = (BACKEND_CSR, BACKEND_NETWORKX)
+
+_default_backend = BACKEND_CSR if HAVE_SCIPY else BACKEND_NETWORKX
+
+#: An edge weight: a cost model, or ``(u, v, data) -> float | None``
+#: where ``None`` (or a non-finite value) drops the edge entirely.
+WeightSpec = Union[EdgeCostModel, Callable[[Hashable, Hashable, dict], Optional[float]], None]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backend names :func:`resolve_backend` accepts."""
+    return _BACKENDS
+
+
+def default_backend() -> str:
+    """The backend used when a consumer passes ``backend=None``."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Switch the process-wide default routing backend.
+
+    Raises:
+        ValueError: For unknown backend names.
+        RuntimeError: When asking for ``"csr"`` without scipy installed.
+    """
+    global _default_backend
+    _default_backend = resolve_backend(name)
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a ``backend=`` argument to a concrete backend name.
+
+    ``None`` means the process default (CSR when scipy is available).
+    Explicitly requesting ``"csr"`` without scipy raises instead of
+    silently degrading, so a mis-provisioned environment fails loudly.
+    """
+    if name is None:
+        return _default_backend
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown routing backend {name!r}; expected one of {_BACKENDS}"
+        )
+    if name == BACKEND_CSR and not HAVE_SCIPY:
+        raise RuntimeError(
+            "routing backend 'csr' requires scipy; install scipy or use "
+            "backend='networkx'"
+        )
+    return name
+
+
+def _weight_callable(weight: WeightSpec) -> Callable[[Hashable, Hashable, dict], Optional[float]]:
+    """Normalize a weight spec into a ``(u, v, data) -> cost`` callable."""
+    if weight is None:
+        weight = PROPAGATION_ONLY
+    if isinstance(weight, EdgeCostModel):
+        edge_cost = weight.edge_cost
+
+        def model_weight(_u, _v, data):
+            return edge_cost(data)
+
+        return model_weight
+    if callable(weight):
+        return weight
+    raise TypeError(
+        f"weight must be an EdgeCostModel or callable, got {type(weight)!r}"
+    )
+
+
+def delay_weight(_u, _v, data) -> float:
+    """Raw ``delay_s`` edge weight (networkx's ``weight="delay_s"``)."""
+    return float(data.get("delay_s", 1.0))
+
+
+class CsrAdjacency:
+    """An index-mapped CSR adjacency compiled from one snapshot graph.
+
+    Node ids (any hashable) are mapped to dense integer indices in graph
+    insertion order; the adjacency is stored as the classic
+    ``indptr``/``indices``/``data`` triple with each row's entries sorted
+    by neighbor index (deterministic tie ordering).  Undirected graphs
+    store both directions explicitly, so scipy always runs in directed
+    mode and explicit zero-weight edges stay edges.
+
+    The per-entry edge-attribute dicts are retained (by reference) so
+    :meth:`refresh_weights` can recompute ``data`` in place after an
+    in-place attribute refresh (e.g.
+    :meth:`~repro.core.network.OpenSpaceNetwork.refresh_edge_weights`)
+    without rebuilding the structure.
+    """
+
+    __slots__ = ("nodes", "index", "indptr", "indices", "data",
+                 "_edge_dicts", "_weight", "_matrix", "_sp_cache")
+
+    def __init__(self, nodes: List[Hashable], indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray,
+                 edge_dicts: List[dict], weight: WeightSpec):
+        self.nodes = nodes
+        self.index: Dict[Hashable, int] = {n: i for i, n in enumerate(nodes)}
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self._edge_dicts = edge_dicts
+        self._weight = weight
+        self._matrix = None
+        self._sp_cache: Dict[Hashable, "ShortestPaths"] = {}
+
+    @classmethod
+    def from_graph(cls, graph, weight: WeightSpec = None,
+                   exclude: Optional[Sequence[Hashable]] = None) -> "CsrAdjacency":
+        """Compile a networkx graph (or DiGraph) into a CSR adjacency.
+
+        Args:
+            graph: The snapshot graph.  Edge attribute dicts are kept by
+                reference for :meth:`refresh_weights`.
+            weight: Cost model or ``(u, v, data)`` callable; a ``None``
+                or non-finite return drops that edge (the QoS/adaptive
+                routers use this to express admission filters).
+            exclude: Node ids left out of the index map entirely
+                (fault-masked elements): no index, no row, no entries.
+        """
+        excluded = frozenset(exclude or ())
+        if excluded:
+            nodes = [n for n in graph.nodes if n not in excluded]
+        else:
+            nodes = list(graph.nodes)
+        index = {n: i for i, n in enumerate(nodes)}
+        weight_fn = _weight_callable(weight)
+        directed = bool(graph.is_directed())
+
+        rows: List[int] = []
+        cols: List[int] = []
+        weights: List[float] = []
+        dicts: List[dict] = []
+        for u, v, data in graph.edges(data=True):
+            iu = index.get(u)
+            iv = index.get(v)
+            if iu is None or iv is None or iu == iv:
+                continue
+            cost = weight_fn(u, v, data)
+            if cost is None or not np.isfinite(cost):
+                continue
+            rows.append(iu)
+            cols.append(iv)
+            weights.append(float(cost))
+            dicts.append((u, v, data))
+            if not directed:
+                rows.append(iv)
+                cols.append(iu)
+                weights.append(float(cost))
+                dicts.append((v, u, data))
+
+        count = len(nodes)
+        row_arr = np.asarray(rows, dtype=np.int64)
+        col_arr = np.asarray(cols, dtype=np.int64)
+        data_arr = np.asarray(weights, dtype=np.float64)
+        # Stable (row, col) sort = insertion-order rows, index-sorted
+        # neighbors: the deterministic tie ordering the digests rely on.
+        order = np.lexsort((col_arr, row_arr))
+        row_arr = row_arr[order]
+        col_arr = col_arr[order]
+        data_arr = data_arr[order]
+        edge_dicts = [dicts[k] for k in order]
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        if row_arr.size:
+            np.cumsum(np.bincount(row_arr, minlength=count), out=indptr[1:])
+        return cls(nodes, indptr, col_arr.astype(np.int32, copy=False),
+                   data_arr, edge_dicts, weight)
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def entry_count(self) -> int:
+        """Stored directed entries (2x the undirected edge count)."""
+        return int(self.indices.shape[0])
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.index
+
+    def matrix(self):
+        """The scipy ``csr_matrix`` view over the weight arrays."""
+        if not HAVE_SCIPY:
+            raise RuntimeError("scipy unavailable; CSR backend disabled")
+        if self._matrix is None:
+            self._matrix = _scipy_csr_matrix(
+                (self.data, self.indices, self.indptr),
+                shape=(self.node_count, self.node_count),
+            )
+        return self._matrix
+
+    def refresh_weights(self, weight: WeightSpec = None) -> int:
+        """Recompute ``data`` in place from the live edge-attribute dicts.
+
+        The structural arrays are untouched: this is the incremental
+        path for "only link budgets moved".  Edges whose weight became
+        inadmissible (``None``/non-finite) get ``inf`` — unreachable
+        without a rebuild.
+
+        Returns:
+            The number of entries whose weight changed.
+        """
+        weight_fn = _weight_callable(weight if weight is not None
+                                     else self._weight)
+        changed = 0
+        data = self.data
+        for k, (u, v, entry) in enumerate(self._edge_dicts):
+            cost = weight_fn(u, v, entry)
+            value = float(cost) if cost is not None and np.isfinite(cost) \
+                else np.inf
+            if data[k] != value:
+                data[k] = value
+                changed += 1
+        if changed:
+            self._matrix = None
+            self._sp_cache.clear()
+        return changed
+
+    # -- shortest paths ------------------------------------------------
+
+    def shortest_paths(self, sources: Sequence[Hashable]) -> "ShortestPaths":
+        """Batched multi-source Dijkstra from every listed source.
+
+        One ``scipy.sparse.csgraph.dijkstra`` call computes the full
+        ``(len(sources), node_count)`` distance and predecessor
+        matrices; unknown sources raise ``KeyError``.
+        """
+        source_list = list(sources)
+        source_idx = np.asarray([self.index[s] for s in source_list],
+                                dtype=np.int64)
+        if not source_list:
+            dist = np.empty((0, self.node_count), dtype=np.float64)
+            pred = np.empty((0, self.node_count), dtype=np.int32)
+            return ShortestPaths(self, source_list, dist, pred)
+        dist, pred = _scipy_dijkstra(
+            self.matrix(), directed=True, indices=source_idx,
+            return_predecessors=True,
+        )
+        return ShortestPaths(self, source_list, dist, pred)
+
+    def single_source(self, source: Hashable) -> "ShortestPaths":
+        """Dijkstra from one source, memoized per adjacency.
+
+        Repeated queries against the same snapshot (nearest-gateway
+        scans, per-pair lookups) reuse the first computation; the cache
+        is cleared by :meth:`refresh_weights`.
+        """
+        cached = self._sp_cache.get(source)
+        if cached is None:
+            cached = self.shortest_paths([source])
+            self._sp_cache[source] = cached
+        return cached
+
+
+class ShortestPaths:
+    """Distance + predecessor matrices with lazy path reconstruction.
+
+    The result of one batched Dijkstra call: ``dist[i, j]`` is the cost
+    from ``sources[i]`` to node index ``j`` (``inf`` when unreachable),
+    ``pred[i, j]`` the predecessor index on that shortest-path tree.
+    Paths are materialized only on request — the whole object is two
+    numpy arrays until someone asks for a concrete route.
+    """
+
+    __slots__ = ("adjacency", "sources", "dist", "pred", "_row")
+
+    def __init__(self, adjacency: CsrAdjacency, sources: List[Hashable],
+                 dist: np.ndarray, pred: np.ndarray):
+        self.adjacency = adjacency
+        self.sources = sources
+        self.dist = np.atleast_2d(dist)
+        self.pred = np.atleast_2d(pred)
+        self._row = {s: i for i, s in enumerate(sources)}
+
+    def has_source(self, source: Hashable) -> bool:
+        return source in self._row
+
+    def distance(self, source: Hashable, target: Hashable) -> float:
+        """Shortest-path cost, ``inf`` when unreachable or unknown."""
+        row = self._row.get(source)
+        col = self.adjacency.index.get(target)
+        if row is None or col is None:
+            return float("inf")
+        return float(self.dist[row, col])
+
+    def path(self, source: Hashable,
+             target: Hashable) -> Optional[List[Hashable]]:
+        """Reconstruct the shortest path, or ``None`` when unreachable."""
+        row = self._row.get(source)
+        col = self.adjacency.index.get(target)
+        if row is None or col is None:
+            return None
+        if not np.isfinite(self.dist[row, col]):
+            return None
+        nodes = self.adjacency.nodes
+        source_idx = self.adjacency.index[source]
+        if col == source_idx:
+            return [source]
+        pred_row = self.pred[row]
+        reversed_path = [col]
+        cursor = col
+        while cursor != source_idx:
+            cursor = int(pred_row[cursor])
+            if cursor == NO_PREDECESSOR:
+                return None
+            reversed_path.append(cursor)
+        return [nodes[i] for i in reversed(reversed_path)]
+
+    def reachable_targets(self, source: Hashable) -> List[Hashable]:
+        """Targets with a finite-cost path from ``source`` (itself
+        excluded), in index order."""
+        row = self._row.get(source)
+        if row is None:
+            return []
+        source_idx = self.adjacency.index[source]
+        finite = np.isfinite(self.dist[row])
+        if 0 <= source_idx < finite.shape[0]:
+            finite[source_idx] = False
+        nodes = self.adjacency.nodes
+        return [nodes[int(col)] for col in np.nonzero(finite)[0]]
+
+    def reachable_count(self, source: Hashable) -> int:
+        """Number of reachable targets from ``source`` (itself excluded)."""
+        row = self._row.get(source)
+        if row is None:
+            return 0
+        finite = np.isfinite(self.dist[row])
+        count = int(finite.sum())
+        source_idx = self.adjacency.index[source]
+        if finite[source_idx]:
+            count -= 1
+        return count
+
+
+def shortest_path_csr(graph, source: Hashable, target: Hashable,
+                      weight: WeightSpec = None) -> Optional[List[Hashable]]:
+    """One-shot single-pair shortest path through the CSR backend.
+
+    Builds the adjacency, runs one single-source Dijkstra, reconstructs
+    the path.  Layers that issue many queries against one snapshot
+    should build a :class:`CsrAdjacency` once instead.
+    """
+    if source not in graph or target not in graph:
+        return None
+    adjacency = CsrAdjacency.from_graph(graph, weight=weight)
+    return adjacency.single_source(source).path(source, target)

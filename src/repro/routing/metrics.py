@@ -126,9 +126,20 @@ def path_metrics(graph: nx.Graph, path: Sequence[str]) -> RouteMetrics:
 
 
 def shortest_path(graph: nx.Graph, source: str, target: str,
-                  cost_model: Optional[EdgeCostModel] = None) -> Optional[List[str]]:
-    """Dijkstra shortest path under a cost model; None when unreachable."""
+                  cost_model: Optional[EdgeCostModel] = None,
+                  backend: Optional[str] = None) -> Optional[List[str]]:
+    """Dijkstra shortest path under a cost model; None when unreachable.
+
+    Args:
+        backend: Routing backend name (``"csr"`` or ``"networkx"``);
+            ``None`` uses the process default (CSR when scipy is
+            available).
+    """
+    from repro.routing import csr as _csr
+
     model = cost_model or PROPAGATION_ONLY
+    if _csr.resolve_backend(backend) == _csr.BACKEND_CSR:
+        return _csr.shortest_path_csr(graph, source, target, weight=model)
     try:
         return nx.dijkstra_path(graph, source, target, weight=model.weight_fn())
     except (nx.NetworkXNoPath, nx.NodeNotFound):

@@ -6,13 +6,28 @@ static routes between any set of satellites and fixed ground
 infrastructure."  The :class:`ProactiveRouter` consumes a series of
 topology snapshots and precomputes, for each snapshot epoch, all-pairs (or
 selected-pairs) static routes; at run time a lookup is O(1).
+
+Two epoch representations back the table:
+
+* :class:`MaterializedEpoch` — a plain dict of eagerly built
+  :class:`StaticRoute` objects (the networkx backend, and anything tests
+  hand-construct).
+* :class:`LazyCsrEpoch` — distance + predecessor matrices from one
+  batched multi-source :func:`scipy.sparse.csgraph.dijkstra` call
+  (:mod:`repro.routing.csr`); :class:`StaticRoute` objects are
+  materialized on first lookup instead of all-pairs up front.
+
+Both maintain a by-source index (O(out-degree) contact-plan slices for
+dissemination) and a node→route-keys inverted index (fault invalidation
+touches only affected routes instead of rescanning every epoch).
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import networkx as nx
 
@@ -23,6 +38,8 @@ from repro.routing.metrics import (
     RouteMetrics,
     path_metrics,
 )
+
+RouteKey = Tuple[str, str]
 
 
 @dataclass(frozen=True)
@@ -48,21 +65,211 @@ class StaticRoute:
         return self.metrics.path
 
 
+class MaterializedEpoch(dict):
+    """An epoch's routes as an eager ``{(src, dst): StaticRoute}`` dict.
+
+    Plain dicts passed to :meth:`RoutingTable.add_epoch` are wrapped in
+    this class, so table internals can rely on the epoch-store protocol
+    (:meth:`from_source`, :meth:`keys_through`, :meth:`discard_route`)
+    while external callers keep full dict behavior.  The lazy secondary
+    indexes assume mutation goes through :meth:`discard_route`; deleting
+    keys directly desynchronizes them.
+    """
+
+    def __init__(self, routes: Optional[Dict[RouteKey, StaticRoute]] = None):
+        super().__init__(routes or {})
+        self._by_source: Optional[Dict[str, Dict[str, StaticRoute]]] = None
+        self._through: Optional[Dict[str, Set[RouteKey]]] = None
+
+    # -- epoch-store protocol -------------------------------------------
+
+    def from_source(self, source: str) -> Dict[str, StaticRoute]:
+        """The source's slice of the plan, O(out-degree) after the first
+        call builds the by-source index."""
+        if self._by_source is None:
+            by_source: Dict[str, Dict[str, StaticRoute]] = {}
+            for (src, dst), route in self.items():
+                by_source.setdefault(src, {})[dst] = route
+            self._by_source = by_source
+        return dict(self._by_source.get(source, {}))
+
+    def keys_through(self, node: str) -> Iterable[RouteKey]:
+        """Keys of routes whose path traverses ``node`` (endpoints
+        included); first call builds the inverted index."""
+        if self._through is None:
+            through: Dict[str, Set[RouteKey]] = {}
+            for key, route in self.items():
+                for hop in route.path:
+                    through.setdefault(hop, set()).add(key)
+            self._through = through
+        return tuple(self._through.get(node, ()))
+
+    def discard_route(self, key: RouteKey) -> bool:
+        """Remove one route, keeping secondary indexes consistent."""
+        route = self.pop(key, None)
+        if route is None:
+            return False
+        if self._by_source is not None:
+            self._by_source.get(key[0], {}).pop(key[1], None)
+        if self._through is not None:
+            for hop in route.path:
+                keys = self._through.get(hop)
+                if keys is not None:
+                    keys.discard(key)
+        return True
+
+
+class LazyCsrEpoch:
+    """An epoch backed by CSR distance/predecessor matrices.
+
+    Holds the output of one batched multi-source Dijkstra run and
+    materializes :class:`StaticRoute` objects (path walk + metric
+    accumulation over the snapshot graph) only when a pair is actually
+    looked up.  ``len()`` — the number of precomputed routes — comes from
+    the finite-distance count without materializing anything.
+    """
+
+    __slots__ = ("graph", "paths", "sources", "wanted_by_source",
+                 "valid_from_s", "valid_until_s", "_cache", "_dropped",
+                 "_by_source", "_through", "_count")
+
+    def __init__(self, graph, paths, sources: Sequence[str],
+                 valid_from_s: float, valid_until_s: float,
+                 wanted_by_source: Optional[Dict[str, Set[str]]] = None):
+        self.graph = graph
+        #: A :class:`repro.routing.csr.ShortestPaths` over ``sources``.
+        self.paths = paths
+        self.sources = list(sources)
+        self.wanted_by_source = wanted_by_source
+        self.valid_from_s = valid_from_s
+        self.valid_until_s = valid_until_s
+        self._cache: Dict[RouteKey, StaticRoute] = {}
+        self._dropped: Set[RouteKey] = set()
+        self._by_source: Optional[Dict[str, List[str]]] = None
+        self._through: Optional[Dict[str, Set[RouteKey]]] = None
+        self._count: Optional[int] = None
+
+    # -- validity -------------------------------------------------------
+
+    def _is_valid(self, source: str, target: str) -> bool:
+        """Whether the pair has a precomputed (finite, wanted) route,
+        ignoring drops."""
+        if source == target:
+            return False
+        if self.wanted_by_source is not None:
+            targets = self.wanted_by_source.get(source)
+            if targets is None or target not in targets:
+                return False
+        return math.isfinite(self.paths.distance(source, target))
+
+    def _valid_targets(self, source: str) -> List[str]:
+        targets = self.paths.reachable_targets(source)
+        if self.wanted_by_source is not None:
+            wanted = self.wanted_by_source.get(source, set())
+            targets = [t for t in targets if t in wanted]
+        return targets
+
+    def __len__(self) -> int:
+        if self._count is None:
+            if self.wanted_by_source is None:
+                self._count = sum(self.paths.reachable_count(src)
+                                  for src in self.sources)
+            else:
+                self._count = sum(len(self._valid_targets(src))
+                                  for src in self.sources)
+        return self._count - len(self._dropped)
+
+    def __contains__(self, key: RouteKey) -> bool:
+        return key not in self._dropped and self._is_valid(*key)
+
+    # -- epoch-store protocol -------------------------------------------
+
+    def get(self, key: RouteKey, default=None) -> Optional[StaticRoute]:
+        source, target = key
+        if key in self._dropped:
+            return default
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if not self._is_valid(source, target):
+            return default
+        path = self.paths.path(source, target)
+        if path is None:
+            return default
+        route = StaticRoute(
+            source=source,
+            target=target,
+            valid_from_s=self.valid_from_s,
+            valid_until_s=self.valid_until_s,
+            metrics=path_metrics(self.graph, path),
+        )
+        self._cache[key] = route
+        return route
+
+    def from_source(self, source: str) -> Dict[str, StaticRoute]:
+        """Materialize just this source's row of the table."""
+        if self._by_source is None:
+            self._by_source = {}
+        targets = self._by_source.get(source)
+        if targets is None:
+            targets = self._valid_targets(source)
+            self._by_source[source] = targets
+        slice_: Dict[str, StaticRoute] = {}
+        for target in targets:
+            route = self.get((source, target))
+            if route is not None:
+                slice_[target] = route
+        return slice_
+
+    def keys_through(self, node: str) -> Iterable[RouteKey]:
+        """Keys of routes traversing ``node``; the first call walks the
+        predecessor matrices once (paths only, no metrics)."""
+        if self._through is None:
+            through: Dict[str, Set[RouteKey]] = {}
+            for src in self.sources:
+                for target in self._valid_targets(src):
+                    path = self.paths.path(src, target)
+                    if path is None:
+                        continue
+                    key = (src, target)
+                    for hop in path:
+                        through.setdefault(hop, set()).add(key)
+            self._through = through
+        keys = self._through.get(node, ())
+        return tuple(k for k in keys if k not in self._dropped)
+
+    def discard_route(self, key: RouteKey) -> bool:
+        if key in self._dropped or not self._is_valid(*key):
+            return False
+        self._dropped.add(key)
+        self._cache.pop(key, None)
+        return True
+
+
+EpochStore = Union[MaterializedEpoch, LazyCsrEpoch]
+
+
 @dataclass
 class RoutingTable:
     """Per-epoch route store with binary-search time lookup."""
 
     epochs_s: List[float] = field(default_factory=list)
-    routes: List[Dict[Tuple[str, str], StaticRoute]] = field(default_factory=list)
+    routes: List[EpochStore] = field(default_factory=list)
 
     def add_epoch(self, epoch_s: float,
-                  epoch_routes: Dict[Tuple[str, str], StaticRoute]) -> None:
-        """Append an epoch; epochs must be added in increasing time order."""
+                  epoch_routes: Union[Dict[RouteKey, StaticRoute], EpochStore],
+                  ) -> None:
+        """Append an epoch; epochs must be added in increasing time order.
+
+        Plain route dicts are wrapped in :class:`MaterializedEpoch`.
+        """
         if self.epochs_s and epoch_s <= self.epochs_s[-1]:
             raise ValueError(
                 f"epochs must be strictly increasing; got {epoch_s} after "
                 f"{self.epochs_s[-1]}"
             )
+        if not isinstance(epoch_routes, (MaterializedEpoch, LazyCsrEpoch)):
+            epoch_routes = MaterializedEpoch(epoch_routes)
         self.epochs_s.append(epoch_s)
         self.routes.append(epoch_routes)
 
@@ -99,15 +306,24 @@ class ProactiveRouter:
     Args:
         cost_model: Edge-cost model used for the precomputation; defaults
             to pure propagation delay (the paper's latency metric).
+        backend: Routing backend (``"csr"`` or ``"networkx"``); ``None``
+            uses the process default (see :mod:`repro.routing.csr`).
     """
 
-    def __init__(self, cost_model: Optional[EdgeCostModel] = None):
+    def __init__(self, cost_model: Optional[EdgeCostModel] = None,
+                 backend: Optional[str] = None):
         self.cost_model = cost_model or PROPAGATION_ONLY
+        self.backend = backend
         self.table = RoutingTable()
 
-    def precompute(self, snapshots: Sequence, pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    def precompute(self, snapshots: Sequence, pairs: Optional[Sequence[RouteKey]] = None,
                    horizon_s: Optional[float] = None) -> RoutingTable:
         """Build the routing table over a series of topology snapshots.
+
+        With the CSR backend each snapshot costs one batched multi-source
+        Dijkstra; routes materialize lazily on lookup.  The networkx
+        backend eagerly builds every :class:`StaticRoute` (the original
+        behavior and the digest reference).
 
         Args:
             snapshots: :class:`~repro.isl.topology.TopologySnapshot` objects
@@ -120,6 +336,8 @@ class ProactiveRouter:
         Returns:
             The populated :class:`RoutingTable` (also kept on the router).
         """
+        from repro.routing import csr as _csr
+
         if not snapshots:
             raise ValueError("need at least one snapshot to precompute routes")
         times = [snap.time_s for snap in snapshots]
@@ -129,48 +347,79 @@ class ProactiveRouter:
             step = times[-1] - times[-2] if len(times) > 1 else 60.0
             horizon_s = times[-1] + step
 
+        backend = _csr.resolve_backend(self.backend)
         self.table = RoutingTable()
-        weight = self.cost_model.weight_fn()
         recorder = _obs.active()
         with recorder.span("routing.proactive.precompute",
                            snapshots=len(snapshots),
-                           pairs="all" if pairs is None else len(pairs)):
+                           pairs="all" if pairs is None else len(pairs),
+                           backend=backend):
             for snap, valid_until in zip(snapshots, times[1:] + [horizon_s]):
-                epoch_routes: Dict[Tuple[str, str], StaticRoute] = {}
                 graph = snap.graph
                 if pairs is None:
                     wanted_sources = list(graph.nodes)
+                    wanted_by_source = None
                 else:
                     wanted_sources = sorted({src for src, _ in pairs})
-                wanted_by_source: Dict[str, Optional[set]] = {}
-                if pairs is not None:
+                    wanted_by_source = {}
                     for src, dst in pairs:
                         wanted_by_source.setdefault(src, set()).add(dst)
-                for source in wanted_sources:
-                    if source not in graph:
-                        continue
-                    _dist, paths = nx.single_source_dijkstra(
-                        graph, source, weight=weight
-                    )
-                    targets = wanted_by_source.get(source)
-                    for target, path in paths.items():
-                        if target == source:
-                            continue
-                        if targets is not None and target not in targets:
-                            continue
-                        epoch_routes[(source, target)] = StaticRoute(
-                            source=source,
-                            target=target,
-                            valid_from_s=snap.time_s,
-                            valid_until_s=valid_until,
-                            metrics=path_metrics(graph, path),
-                        )
+                wanted_sources = [s for s in wanted_sources if s in graph]
+                if backend == _csr.BACKEND_CSR:
+                    epoch: EpochStore = self._csr_epoch(
+                        snap, graph, wanted_sources, wanted_by_source,
+                        valid_until)
+                else:
+                    epoch = self._networkx_epoch(
+                        snap, graph, wanted_sources, wanted_by_source,
+                        valid_until)
                 if recorder.enabled:
-                    recorder.count("routing.proactive.routes",
-                                   len(epoch_routes))
+                    recorder.count("routing.proactive.routes", len(epoch))
                     recorder.count("routing.proactive.epochs")
-                self.table.add_epoch(snap.time_s, epoch_routes)
+                self.table.add_epoch(snap.time_s, epoch)
         return self.table
+
+    def _csr_epoch(self, snap, graph, sources, wanted_by_source,
+                   valid_until_s: float) -> LazyCsrEpoch:
+        from repro.routing.csr import CsrAdjacency
+
+        csr_of = getattr(snap, "csr_adjacency", None)
+        if csr_of is not None:
+            adjacency = csr_of(self.cost_model)
+        else:
+            adjacency = CsrAdjacency.from_graph(graph, weight=self.cost_model)
+        return LazyCsrEpoch(
+            graph=graph,
+            paths=adjacency.shortest_paths(sources),
+            sources=sources,
+            valid_from_s=snap.time_s,
+            valid_until_s=valid_until_s,
+            wanted_by_source=wanted_by_source,
+        )
+
+    def _networkx_epoch(self, snap, graph, sources, wanted_by_source,
+                        valid_until_s: float) -> MaterializedEpoch:
+        weight = self.cost_model.weight_fn()
+        epoch = MaterializedEpoch()
+        for source in sources:
+            _dist, paths = nx.single_source_dijkstra(
+                graph, source, weight=weight
+            )
+            targets = (None if wanted_by_source is None
+                       else wanted_by_source.get(source))
+            for target, path in paths.items():
+                if target == source:
+                    continue
+                if targets is not None and target not in targets:
+                    continue
+                epoch[(source, target)] = StaticRoute(
+                    source=source,
+                    target=target,
+                    valid_from_s=snap.time_s,
+                    valid_until_s=valid_until_s,
+                    metrics=path_metrics(graph, path),
+                )
+        return epoch
 
     def invalidate_routes_through(self, elements: Sequence[str],
                                   from_time_s: float = 0.0) -> int:
@@ -184,6 +433,10 @@ class ProactiveRouter:
         no invalidation (stale-but-working routes heal at the next
         precompute).
 
+        Each epoch's node→route-keys inverted index makes this touch only
+        the affected routes rather than rescanning every route per fault
+        event.
+
         Returns:
             The number of routes dropped.
         """
@@ -195,13 +448,12 @@ class ProactiveRouter:
         dropped = 0
         for index in range(start, len(self.table.routes)):
             epoch = self.table.routes[index]
-            doomed = [
-                key for key, route in epoch.items()
-                if affected.intersection(route.path)
-            ]
+            doomed: Set[RouteKey] = set()
+            for node in affected:
+                doomed.update(epoch.keys_through(node))
             for key in doomed:
-                del epoch[key]
-            dropped += len(doomed)
+                if epoch.discard_route(key):
+                    dropped += 1
         recorder = _obs.active()
         if recorder.enabled and dropped:
             recorder.count("routing.proactive.invalidated", dropped)
@@ -215,16 +467,14 @@ class ProactiveRouter:
         table a controller pushes over control links (see
         :class:`~repro.reliability.policy.ResilientRouter`).  An empty
         dict means the node has no precomputed routes in that epoch.
+        Served from the epoch's by-source index — O(out-degree), not
+        O(all routes in the epoch).
         """
         try:
             index = self.table.epoch_index_at(time_s)
         except LookupError:
             return {}
-        return {
-            target: route
-            for (src, target), route in self.table.routes[index].items()
-            if src == source
-        }
+        return self.table.routes[index].from_source(source)
 
     def route(self, source: str, target: str,
               time_s: float) -> Optional[StaticRoute]:

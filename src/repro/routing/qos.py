@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 import networkx as nx
 
+from repro.routing.csr import BACKEND_CSR, resolve_backend, shortest_path_csr
 from repro.routing.metrics import EdgeCostModel, RouteMetrics, path_metrics
 
 
@@ -91,12 +92,18 @@ class QosRouter:
         cost_model: Cost model for ranking admissible paths.  The default
             prices queueing delay at par and visitor tariffs lightly, so
             cheap-but-congested RF detours lose to clean paths.
+        backend: Routing backend; ``None`` uses the process default.  The
+            CSR backend folds the admission filter into the weight
+            function (inadmissible edges never enter the arrays) instead
+            of routing over a ``subgraph_view``.
     """
 
-    def __init__(self, cost_model: Optional[EdgeCostModel] = None):
+    def __init__(self, cost_model: Optional[EdgeCostModel] = None,
+                 backend: Optional[str] = None):
         self.cost_model = cost_model or EdgeCostModel(
             queue_weight=1.0, tariff_weight=0.002
         )
+        self.backend = backend
 
     def _admissible_subgraph(self, graph: nx.Graph,
                              requirement: QosRequirement) -> nx.Graph:
@@ -104,6 +111,17 @@ class QosRouter:
         def edge_ok(u, v):
             return requirement.admits_edge(graph[u][v])
         return nx.subgraph_view(graph, filter_edge=edge_ok)
+
+    def _admissible_weight(self, requirement: QosRequirement):
+        """Weight callable that drops edges the requirement rejects."""
+        model = self.cost_model
+
+        def weight(_u, _v, data):
+            if not requirement.admits_edge(data):
+                return None
+            return model.edge_cost(data)
+
+        return weight
 
     def route(self, graph: nx.Graph, source: str, target: str,
               requirement: QosRequirement) -> QosRouteResult:
@@ -117,12 +135,21 @@ class QosRouter:
         """
         if source not in graph or target not in graph:
             return QosRouteResult(None, False, "endpoint not in topology")
-        admissible = self._admissible_subgraph(graph, requirement)
-        try:
-            path = nx.dijkstra_path(
-                admissible, source, target, weight=self.cost_model.weight_fn()
+        if resolve_backend(self.backend) == BACKEND_CSR:
+            path = shortest_path_csr(
+                graph, source, target,
+                weight=self._admissible_weight(requirement),
             )
-        except nx.NetworkXNoPath:
+        else:
+            admissible = self._admissible_subgraph(graph, requirement)
+            try:
+                path = nx.dijkstra_path(
+                    admissible, source, target,
+                    weight=self.cost_model.weight_fn(),
+                )
+            except nx.NetworkXNoPath:
+                path = None
+        if path is None:
             return QosRouteResult(
                 None, False,
                 "no path satisfies per-link constraints "

@@ -26,6 +26,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.routing.csr import (
+    BACKEND_CSR,
+    CsrAdjacency,
+    delay_weight,
+    resolve_backend,
+)
+
 
 @dataclass(frozen=True)
 class StoreAndForwardRoute:
@@ -61,11 +68,17 @@ class TimeExpandedRouter:
             (``TopologySnapshot`` / ``NetworkSnapshot`` both qualify).
         horizon_s: End of the final epoch; defaults to the last snapshot
             time plus the preceding epoch length.
+        backend: Routing backend; ``None`` uses the process default.  The
+            CSR backend builds the time-expanded adjacency once and
+            memoizes one single-source run per distinct departure node.
     """
 
-    def __init__(self, snapshots: Sequence, horizon_s: Optional[float] = None):
+    def __init__(self, snapshots: Sequence, horizon_s: Optional[float] = None,
+                 backend: Optional[str] = None):
         if not snapshots:
             raise ValueError("need at least one snapshot")
+        self.backend = backend
+        self._csr: Optional[CsrAdjacency] = None
         times = [snap.time_s for snap in snapshots]
         if any(b <= a for a, b in zip(times[:-1], times[1:])):
             raise ValueError("snapshots must be strictly time-ordered")
@@ -128,28 +141,51 @@ class TimeExpandedRouter:
         start = (source, start_epoch)
         if start not in self._graph:
             return None
-        targets = {
-            (target, k) for k in range(start_epoch, len(self.snapshots))
-            if (target, k) in self._graph
-        }
-        if not targets:
-            return None
-        try:
-            lengths, paths = nx.single_source_dijkstra(
-                self._graph, start, weight="delay_s"
-            )
-        except nx.NodeNotFound:
-            return None
-        best_node = None
-        best_cost = float("inf")
-        for node in targets:
-            cost = lengths.get(node)
-            if cost is not None and cost < best_cost:
-                best_cost = cost
-                best_node = node
-        if best_node is None:
-            return None
-        path = paths[best_node]
+        if resolve_backend(self.backend) == BACKEND_CSR:
+            if self._csr is None:
+                self._csr = CsrAdjacency.from_graph(
+                    self._graph, weight=delay_weight
+                )
+            sp = self._csr.single_source(start)
+            best_node = None
+            best_cost = float("inf")
+            # Increasing-k order makes tie-breaking deterministic (the
+            # networkx path iterates a set; exact-tie arrivals are
+            # measure-zero with float contact delays).
+            for k in range(start_epoch, len(self.snapshots)):
+                node = (target, k)
+                if node not in self._csr:
+                    continue
+                cost = sp.distance(start, node)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_node = node
+            if best_node is None:
+                return None
+            path = sp.path(start, best_node)
+        else:
+            targets = {
+                (target, k) for k in range(start_epoch, len(self.snapshots))
+                if (target, k) in self._graph
+            }
+            if not targets:
+                return None
+            try:
+                lengths, paths = nx.single_source_dijkstra(
+                    self._graph, start, weight="delay_s"
+                )
+            except nx.NodeNotFound:
+                return None
+            best_node = None
+            best_cost = float("inf")
+            for node in targets:
+                cost = lengths.get(node)
+                if cost is not None and cost < best_cost:
+                    best_cost = cost
+                    best_node = node
+            if best_node is None:
+                return None
+            path = paths[best_node]
         hops: List[Tuple[float, str, str]] = []
         clock = departure_s
         waits = 0

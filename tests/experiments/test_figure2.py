@@ -104,3 +104,58 @@ class TestFigure2c:
     def test_validation(self):
         with pytest.raises(ValueError):
             figure_2c_coverage(trials=0)
+
+
+class TestRelayBackendEquality:
+    """The batched CSR relay path is bit-identical to the scalar one."""
+
+    def test_batch_matches_scalar_per_epoch(self):
+        pytest.importorskip("scipy")
+        import math
+
+        import numpy as np
+
+        from repro.experiments.figure2 import (
+            DEFAULT_GATEWAY_SITE,
+            DEFAULT_USER_SITE,
+            _relay_latency_batch_s,
+            _relay_latency_s,
+        )
+        from repro.orbits.coordinates import ecef_to_eci
+        from repro.orbits.walker import random_constellation
+
+        rng = np.random.default_rng(99)
+        times = np.linspace(0.0, 86400.0, 5, endpoint=False)
+        for count in (1, 4, 25):
+            constellation = random_constellation(count, rng)
+            positions_all = constellation.positions_over(times)
+            user_ecis = np.stack([
+                ecef_to_eci(DEFAULT_USER_SITE.ecef(), float(t))
+                for t in times
+            ])
+            gateway_ecis = np.stack([
+                ecef_to_eci(DEFAULT_GATEWAY_SITE.ecef(), float(t))
+                for t in times
+            ])
+            batch = _relay_latency_batch_s(positions_all, user_ecis,
+                                           gateway_ecis,
+                                           min_elevation_deg=0.0)
+            for k in range(len(times)):
+                scalar = _relay_latency_s(positions_all[:, k, :],
+                                          user_ecis[k], gateway_ecis[k],
+                                          min_elevation_deg=0.0)
+                if scalar is None:
+                    assert math.isinf(batch[k])
+                else:
+                    assert batch[k] == scalar  # bit-identical, not approx
+
+    def test_sweep_output_identical_across_backends(self):
+        pytest.importorskip("scipy")
+        import json
+
+        kwargs = dict(satellite_counts=[4, 16, 30], trials=2, epochs=3,
+                      seed=13)
+        csr_result = figure_2b_latency(**kwargs, backend="csr")
+        nx_result = figure_2b_latency(**kwargs, backend="networkx")
+        assert (json.dumps(csr_result, sort_keys=True)
+                == json.dumps(nx_result, sort_keys=True))

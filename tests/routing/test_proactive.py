@@ -153,3 +153,150 @@ class TestInvalidation:
 
     def test_empty_table_noop(self):
         assert ProactiveRouter().invalidate_routes_through(["a"]) == 0
+
+def _scan_invalidate(table, elements, from_time_s):
+    """Reference implementation: linear scan over materialized routes.
+
+    Mirrors the pre-index behavior so the inverted-index path can be
+    checked for identical dropped counts and identical survivors.
+    """
+    import bisect
+
+    affected = set(elements)
+    if not affected or not table.epochs_s:
+        return 0
+    start = max(0, bisect.bisect_right(table.epochs_s, from_time_s) - 1)
+    dropped = 0
+    for index in range(start, len(table.routes)):
+        epoch = table.routes[index]
+        doomed = [
+            key for key, route in list(epoch.items())
+            if affected.intersection(route.path)
+        ]
+        for key in doomed:
+            del epoch[key]
+        dropped += len(doomed)
+    return dropped
+
+
+def _table_as_dicts(router, times, nodes):
+    """Materialize every (src, dst) route path for comparison."""
+    shape = {}
+    for time_s in times:
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                route = router.route(src, dst, time_s)
+                shape[(time_s, src, dst)] = (
+                    None if route is None
+                    else (tuple(route.path), route.metrics.total_delay_s)
+                )
+    return shape
+
+
+class TestBackendEquivalence:
+    """CSR and networkx epochs answer identically."""
+
+    def test_tables_match_across_backends(self, snapshots):
+        pytest.importorskip("scipy")
+        csr_router = ProactiveRouter(backend="csr")
+        nx_router = ProactiveRouter(backend="networkx")
+        csr_router.precompute(snapshots)
+        nx_router.precompute(snapshots)
+        assert csr_router.table.route_count == nx_router.table.route_count
+        times, nodes = (10.0, 70.0, 130.0), ("a", "b", "c")
+        assert (_table_as_dicts(csr_router, times, nodes)
+                == _table_as_dicts(nx_router, times, nodes))
+
+    def test_routes_from_matches_across_backends(self, snapshots):
+        pytest.importorskip("scipy")
+        csr_router = ProactiveRouter(backend="csr")
+        nx_router = ProactiveRouter(backend="networkx")
+        csr_router.precompute(snapshots)
+        nx_router.precompute(snapshots)
+        for time_s in (0.0, 70.0):
+            for source in ("a", "b", "c", "ghost"):
+                csr_slice = csr_router.routes_from(source, time_s)
+                nx_slice = nx_router.routes_from(source, time_s)
+                assert set(csr_slice) == set(nx_slice)
+                for target, route in csr_slice.items():
+                    assert route.path == nx_slice[target].path
+
+    def test_selected_pairs_csr(self, snapshots):
+        pytest.importorskip("scipy")
+        router = ProactiveRouter(backend="csr")
+        table = router.precompute(snapshots[:1], pairs=[("a", "c")])
+        assert table.lookup("a", "c", 0.0) is not None
+        assert table.lookup("c", "a", 0.0) is None
+        assert table.lookup("a", "b", 0.0) is None
+        assert table.route_count == 1
+
+
+class TestInvalidationIndexMatchesScan:
+    """The inverted-index invalidation equals the scan implementation."""
+
+    @pytest.mark.parametrize("elements,from_time_s", [
+        (["b"], 0.0),
+        (["b"], 60.0),
+        (["a"], 0.0),
+        (["a", "c"], 0.0),
+        (["ghost"], 0.0),
+    ])
+    def test_dropped_count_and_survivors_match(self, snapshots, elements,
+                                               from_time_s):
+        indexed = ProactiveRouter(backend="networkx")
+        indexed.precompute(snapshots)
+        reference = ProactiveRouter(backend="networkx")
+        reference.precompute(snapshots)
+
+        dropped_indexed = indexed.invalidate_routes_through(
+            elements, from_time_s=from_time_s)
+        dropped_scan = _scan_invalidate(reference.table, elements,
+                                        from_time_s)
+        assert dropped_indexed == dropped_scan
+        times, nodes = (10.0, 70.0, 130.0), ("a", "b", "c")
+        assert (_table_as_dicts(indexed, times, nodes)
+                == _table_as_dicts(reference, times, nodes))
+
+    def test_csr_epoch_invalidation_matches_scan(self, snapshots):
+        pytest.importorskip("scipy")
+        lazy = ProactiveRouter(backend="csr")
+        lazy.precompute(snapshots)
+        reference = ProactiveRouter(backend="networkx")
+        reference.precompute(snapshots)
+
+        dropped_lazy = lazy.invalidate_routes_through(["b"], from_time_s=0.0)
+        dropped_scan = _scan_invalidate(reference.table, ["b"], 0.0)
+        assert dropped_lazy == dropped_scan
+        assert lazy.table.route_count == reference.table.route_count
+        times, nodes = (10.0, 70.0, 130.0), ("a", "b", "c")
+        assert (_table_as_dicts(lazy, times, nodes)
+                == _table_as_dicts(reference, times, nodes))
+
+    def test_repeated_invalidation_is_idempotent(self, snapshots):
+        pytest.importorskip("scipy")
+        router = ProactiveRouter(backend="csr")
+        router.precompute(snapshots)
+        first = router.invalidate_routes_through(["b"], from_time_s=0.0)
+        assert first > 0
+        assert router.invalidate_routes_through(["b"], from_time_s=0.0) == 0
+
+
+class TestLazyMaterialization:
+    def test_lookup_materializes_once(self, snapshots):
+        pytest.importorskip("scipy")
+        router = ProactiveRouter(backend="csr")
+        router.precompute(snapshots)
+        epoch = router.table.routes[0]
+        assert not epoch._cache  # nothing materialized yet
+        route = router.route("a", "c", 10.0)
+        assert route is not None
+        assert router.route("a", "c", 10.0) is route  # cached object
+
+    def test_route_count_without_materialization(self, snapshots):
+        pytest.importorskip("scipy")
+        router = ProactiveRouter(backend="csr")
+        table = router.precompute(snapshots)
+        assert table.route_count == 18
+        assert not any(epoch._cache for epoch in table.routes)
