@@ -12,7 +12,10 @@ Measures four things and writes them to ``BENCH_parallel.json``:
    relay hot path.
 3. **Snapshot-cache speedup** — repeated ``OpenSpaceNetwork.snapshot``
    queries with the LRU cache on vs off.
-4. **Determinism** — SHA-256 digests of each sweep's output at
+4. **Observability overhead** — an event-instrumented flow simulation
+   with the recorder enabled vs disabled; gates the promise that a
+   disabled recorder costs one attribute check per emit site.
+5. **Determinism** — SHA-256 digests of each sweep's output at
    ``jobs=1`` vs ``jobs=2`` and on the CSR vs networkx backend; they
    must be identical.
 
@@ -274,6 +277,51 @@ def bench_snapshot_cache() -> dict:
             "speedup": uncached_s / cached_s}
 
 
+def bench_obs_overhead() -> dict:
+    """Event-instrumented flow simulation: recorder on vs off.
+
+    The observability contract says a disabled recorder costs one
+    attribute check per emit site, so the off/on ratio is the gated
+    quantity — ``scalar_s`` is the *enabled* run (flight recorder plus
+    full event retention) and ``vectorized_s`` the disabled run.  A
+    regression on the disabled fast path shrinks the ratio and trips
+    the gate; the enabled path is allowed to cost whatever recording
+    honestly costs.
+    """
+    from repro import obs as _obs
+    from repro.simulation.flowsim import FlowSimulator
+    from repro.simulation.traffic import FlowSpec
+
+    hops = 12
+    nodes = [f"n{i}" for i in range(hops + 1)]
+    graph = nx.Graph()
+    for u, v in zip(nodes[:-1], nodes[1:]):
+        graph.add_edge(u, v, capacity_bps=100e6)
+    flows = [
+        FlowSpec(flow_id=f"f{i}", user_id=f"u{i % 7}",
+                 start_s=float(i) * 0.25, size_bytes=2e6)
+        for i in range(400)
+    ]
+
+    def route(graph_, spec, active):
+        return nodes
+
+    def run_disabled():
+        return FlowSimulator(graph, route).run(flows)
+
+    def run_enabled():
+        recorder = _obs.Recorder()
+        with _obs.use(recorder):
+            result = FlowSimulator(graph, route).run(flows)
+        return result, len(recorder.events)
+
+    assert run_enabled()[1] == len(flows)
+    enabled_s = _timeit(run_enabled)
+    disabled_s = _timeit(run_disabled)
+    return {"scalar_s": enabled_s, "vectorized_s": disabled_s,
+            "speedup": enabled_s / disabled_s}
+
+
 def bench_determinism(jobs: int) -> dict:
     """Digest each sweep at jobs=1 and jobs=N; they must agree."""
     cases = {}
@@ -336,6 +384,7 @@ def run_all(jobs: int) -> dict:
         "routing_precompute": bench_routing_precompute(),
         "routing_relay": bench_routing_relay(),
         "snapshot_cache": bench_snapshot_cache(),
+        "obs_overhead": bench_obs_overhead(),
     }
     return {
         "schema": 1,

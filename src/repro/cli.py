@@ -16,13 +16,19 @@ reproduction without writing any code:
   with recovery metrics (time-to-reroute, MTTR, rerouted vs dropped);
 * ``reliability sweep`` — control-plane reliability: auth success and
   association-latency inflation under lossy signaling and ISL flaps;
-* ``obs summarize`` — render a previously captured telemetry file.
+* ``obs summarize`` — render a previously captured telemetry file;
+* ``obs report`` — self-contained HTML timeline/health report from a
+  captured event stream.
 
 Every experiment subcommand accepts ``--trace PATH`` (full JSONL
-telemetry: run manifest, counters, histograms, phases, spans) and
-``--metrics-out PATH`` (flat CSV of the metric instruments).  With
-neither flag, observability stays on the no-op recorder and costs
-nothing.
+telemetry: run manifest, counters, histograms, phases, spans),
+``--metrics-out PATH`` (flat CSV of the metric instruments),
+``--events-out PATH`` (JSONL event timeline + health plane), and
+``--prom-out PATH`` (Prometheus text exposition of the metrics).  With
+none of these flags, observability stays on the no-op recorder and
+costs nothing.  When a recorder is active and the command dies, the
+flight recorder dumps its last events to stderr before the error
+propagates (``--flight-recorder N`` sizes the ring).
 """
 
 from __future__ import annotations
@@ -408,6 +414,22 @@ def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import report_file
+
+    try:
+        size = report_file(args.file, args.out, title=args.title,
+                           top=args.top)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.file}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"malformed trace file: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out} ({size} bytes)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -427,6 +449,17 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags.add_argument(
         "--obs-time-events", action="store_true",
         help="also time every simulation-engine event (adds overhead)")
+    obs_flags.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="write the structured event timeline + health plane as "
+             "JSONL (byte-identical across same-seed runs)")
+    obs_flags.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="write metric instruments as Prometheus text exposition")
+    obs_flags.add_argument(
+        "--flight-recorder", type=int, default=None, metavar="N",
+        help="ring-buffer depth of the event flight recorder dumped to "
+             "stderr on a crash (default 256)")
 
     # Parallel-sweep flag, shared by every sweep-shaped subcommand.
     # Results are byte-identical at any job count (see repro.parallel).
@@ -575,11 +608,23 @@ def build_parser() -> argparse.ArgumentParser:
     pobs = sub.add_parser("obs", help="inspect captured telemetry")
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
     psum = obs_sub.add_parser("summarize",
-                              help="print top spans/counters of a trace")
-    psum.add_argument("file", help="JSONL trace written by --trace")
+                              help="print top spans/counters/events of a "
+                                   "trace")
+    psum.add_argument("file", help="JSONL file written by --trace or "
+                                   "--events-out")
     psum.add_argument("--top", type=int, default=10,
                       help="rows per section")
     psum.set_defaults(func=_cmd_obs_summarize)
+    prpt = obs_sub.add_parser("report",
+                              help="render an HTML timeline/health report")
+    prpt.add_argument("file", help="JSONL file written by --events-out "
+                                   "(or --trace)")
+    prpt.add_argument("--out", metavar="PATH", default="obs_report.html",
+                      help="output HTML path")
+    prpt.add_argument("--title", default=None, help="report title")
+    prpt.add_argument("--top", type=int, default=15,
+                      help="rows in the link-availability table")
+    prpt.set_defaults(func=_cmd_obs_report)
     return parser
 
 
@@ -604,17 +649,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_backend(backend)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
-    if not (trace_path or metrics_path):
+    events_path = getattr(args, "events_out", None)
+    prom_path = getattr(args, "prom_out", None)
+    flight_size = getattr(args, "flight_recorder", None)
+    # --flight-recorder alone still installs a recorder: the crash dump
+    # is useful even when no export file was requested.
+    if not (trace_path or metrics_path or events_path or prom_path
+            or flight_size is not None):
         return args.func(args)
 
     from repro import obs
-    from repro.obs.export import write_metrics_csv, write_trace_jsonl
+    from repro.obs.export import (
+        write_events_jsonl,
+        write_metrics_csv,
+        write_prometheus_text,
+        write_trace_jsonl,
+    )
 
-    recorder = obs.Recorder(obs.ObsConfig(
-        time_events=getattr(args, "obs_time_events", False),
-    ))
-    with obs.use(recorder):
-        exit_code = args.func(args)
+    config_kwargs = {"time_events": getattr(args, "obs_time_events", False)}
+    if flight_size is not None:
+        config_kwargs["flight_recorder_size"] = flight_size
+    try:
+        recorder = obs.Recorder(obs.ObsConfig(**config_kwargs))
+    except ValueError as error:
+        print(f"bad observability options: {error}", file=sys.stderr)
+        return 2
+    try:
+        with obs.use(recorder):
+            exit_code = args.func(args)
+    except BaseException:
+        # Crash path: dump the flight recorder so the timeline leading
+        # up to the failure survives even though no export file will.
+        tail = recorder.events.tail()
+        print(f"-- flight recorder: last {len(tail)} of "
+              f"{len(recorder.events)} events --", file=sys.stderr)
+        print(obs.format_events(tail), file=sys.stderr)
+        raise
     try:
         if trace_path:
             count = write_trace_jsonl(recorder, trace_path,
@@ -623,6 +693,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if metrics_path:
             count = write_metrics_csv(recorder, metrics_path)
             print(f"wrote {metrics_path} ({count} metric rows)")
+        if events_path:
+            count = write_events_jsonl(recorder, events_path,
+                                       _manifest_for(args))
+            print(f"wrote {events_path} ({count} event records)")
+        if prom_path:
+            count = write_prometheus_text(recorder, prom_path)
+            print(f"wrote {prom_path} ({count} exposition lines)")
     except OSError as error:
         print(f"cannot write telemetry: {error}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 import networkx as nx
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.beacon import Beacon, BeaconEvaluator
 from repro.ground.user import UserTerminal
 from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
@@ -105,6 +106,27 @@ class AssociationProtocol:
             time_s: Current simulation time.
             password: The user's home-ISP credential.
         """
+        result = self._associate(user, graph, evaluator, time_s, password)
+        recorder = _obs.active()
+        if recorder.enabled:
+            if result.succeeded:
+                recorder.event(
+                    "session.admit", time_s, subject=result.user_id,
+                    satellite=result.satellite_id or "",
+                    attempts=result.auth_attempts,
+                    degraded=result.degraded_mode,
+                )
+            else:
+                recorder.event(
+                    "session.drop", time_s, subject=result.user_id,
+                    satellite=result.satellite_id or "",
+                    reason=result.failure_reason,
+                )
+        return result
+
+    def _associate(self, user: UserTerminal, graph: nx.Graph,
+                   evaluator: BeaconEvaluator, time_s: float,
+                   password: bytes) -> AssociationResult:
         user_pos = user.position_eci(time_s)
         beacon = evaluator.best(user_pos, time_s)
         if beacon is None:
@@ -225,12 +247,13 @@ class ReliableAssociationProtocol(AssociationProtocol):
                 anchors.append(anchor)
         return anchors
 
-    def associate(self, user: UserTerminal, graph: nx.Graph,
-                  evaluator: BeaconEvaluator, time_s: float,
-                  password: bytes) -> AssociationResult:
+    def _associate(self, user: UserTerminal, graph: nx.Graph,
+                   evaluator: BeaconEvaluator, time_s: float,
+                   password: bytes) -> AssociationResult:
         """Associate with retries, breakers, and graceful fallback."""
         if self.channel is None or self.exchange is None:
-            return super().associate(user, graph, evaluator, time_s, password)
+            return super()._associate(user, graph, evaluator, time_s,
+                                      password)
         from repro.reliability.policy import note_degraded
 
         user_pos = user.position_eci(time_s)

@@ -330,6 +330,15 @@ class HandoverSimulator:
             for event in timeline.events:
                 recorder.observe("handover.interruption_s",
                                  event.interruption_s, label=scheme.value)
+                recorder.event(
+                    "handover", event.time_s,
+                    subject=f"sat:{event.to_satellite}",
+                    from_satellite=(-1 if event.from_satellite is None
+                                    else event.from_satellite),
+                    interruption_s=event.interruption_s,
+                    reauthenticated=event.reauthenticated,
+                    scheme=scheme.value,
+                )
         return timeline
 
     def reselect(self, windows: Sequence[ContactWindow],

@@ -87,11 +87,23 @@ def run_fault_scenario(network: OpenSpaceNetwork, schedule: FaultSchedule,
                               horizon_s=horizon_s)
     injector = FaultInjector(network, tracker=tracker, router=router)
     engine = SimulationEngine()
+    # The scenario's first probe establishes a fresh health-plane diff
+    # baseline, so sweeps sample identically whether this scenario shares
+    # a recorder with earlier points (serial) or owns one (a worker).
+    first_sample = [True]
 
     def probe_all(time_s: float) -> None:
         for user in users:
             tracker.record_probe(time_s, user.user_id,
                                  _probe_path(network, user, time_s))
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.sample_health(
+                time_s, network.snapshot(time_s).graph,
+                faults_active=len(injector.active_faults),
+                reset=first_sample[0],
+            )
+            first_sample[0] = False
 
     def on_transition(time_s: float, transition, _injector) -> None:
         if transition.event.duration_s == 0.0:

@@ -193,6 +193,11 @@ class FaultInjector:
             if unknown:
                 recorder.count("faults.skipped_targets", len(unknown),
                                label=event.kind.value)
+            recorder.event(
+                "fault.inject", now_s, subject=event.fault_id,
+                fault_kind=event.kind.value, elements=newly_failed,
+                targets=len(event.targets),
+            )
         if self.tracker is not None:
             self.tracker.on_fault_applied(
                 now_s, event,
@@ -221,6 +226,10 @@ class FaultInjector:
         self.repaired_count += 1
         if recorder.enabled:
             recorder.count("faults.repaired", label=event.kind.value)
+            recorder.event(
+                "fault.recover", now_s, subject=event.fault_id,
+                fault_kind=event.kind.value, elements=restored,
+            )
         if self.tracker is not None:
             self.tracker.on_fault_repaired(now_s, event)
         return restored

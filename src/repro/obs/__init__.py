@@ -37,8 +37,11 @@ The CLI wires this for every subcommand via ``--trace`` /
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.obs.events import DEFAULT_CAPACITY, Event, EventLog, format_events
+from repro.obs.events import ROUTE_INVALIDATED as _ROUTE_INVALIDATED
+from repro.obs.health import HealthPlane
 from repro.obs.profile import PhaseProfiler
 from repro.obs.registry import (
     DEFAULT_SIZE_BUCKETS,
@@ -53,9 +56,10 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span", "Tracer",
     "PhaseProfiler", "Recorder", "NullRecorder", "ObsConfig",
+    "Event", "EventLog", "HealthPlane", "format_events",
     "DEFAULT_SIZE_BUCKETS", "DEFAULT_TIME_BUCKETS_S",
     "active", "install", "reset", "use", "span", "phase", "count",
-    "observe", "gauge",
+    "observe", "gauge", "event", "sample_health",
 ]
 
 
@@ -69,21 +73,34 @@ class ObsConfig:
             instrument whose cost is visible at engine scale.
         queue_sample_interval: The engine samples queue depth every Nth
             processed event (1 = every event).
+        flight_recorder_size: Ring-buffer depth of the event-timeline
+            flight recorder (the last N events dumped on a crash).
+        retain_events: Keep the complete event stream for export; off,
+            only the flight-recorder ring survives.
     """
 
     def __init__(self, time_events: bool = False,
-                 queue_sample_interval: int = 64):
+                 queue_sample_interval: int = 64,
+                 flight_recorder_size: int = DEFAULT_CAPACITY,
+                 retain_events: bool = True):
         if queue_sample_interval < 1:
             raise ValueError(
                 f"queue_sample_interval must be >= 1, got "
                 f"{queue_sample_interval}"
             )
+        if flight_recorder_size < 1:
+            raise ValueError(
+                f"flight_recorder_size must be >= 1, got "
+                f"{flight_recorder_size}"
+            )
         self.time_events = time_events
         self.queue_sample_interval = queue_sample_interval
+        self.flight_recorder_size = flight_recorder_size
+        self.retain_events = retain_events
 
 
 class Recorder:
-    """A live telemetry sink: metrics + tracer + phase profiler."""
+    """A live telemetry sink: metrics + tracer + profiler + timeline."""
 
     enabled = True
 
@@ -92,6 +109,10 @@ class Recorder:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.profiler = PhaseProfiler()
+        self.events = EventLog(capacity=self.config.flight_recorder_size,
+                               retain_all=self.config.retain_events)
+        self.health = HealthPlane()
+        self._churn_seen = 0
 
     # -- convenience forwarding (the instrumented-code surface) --------
 
@@ -110,6 +131,35 @@ class Recorder:
     def observe(self, name: str, value: float, label: str = "",
                 buckets: Optional[Sequence[float]] = None) -> None:
         self.metrics.histogram(name, label, buckets=buckets).observe(value)
+
+    def event(self, kind: str, time_s: float, subject: str = "",
+              **attrs) -> None:
+        """Append one timeline event (see :mod:`repro.obs.events`)."""
+        self.events.emit(kind, time_s, subject=subject, **attrs)
+
+    def sample_health(self, time_s: float, graph,
+                      utilization: Optional[Dict[Tuple[str, str],
+                                                 float]] = None,
+                      faults_active: int = 0, reset: bool = False) -> None:
+        """Record one health-plane epoch from a snapshot graph.
+
+        Route churn is derived from the ``route.invalidated`` events
+        emitted since the previous sample, and link-set changes since the
+        previous sample become ``link.up`` / ``link.down`` events
+        (suppressed on the baseline sample of a series — pass
+        ``reset=True`` at each scenario start).
+        """
+        invalidations = self.events.count_of(_ROUTE_INVALIDATED)
+        churn = invalidations - self._churn_seen
+        self._churn_seen = invalidations
+        appeared, vanished = self.health.sample(
+            time_s, graph, utilization=utilization, route_churn=churn,
+            faults_active=faults_active, reset=reset,
+        )
+        for link_id in appeared:
+            self.events.emit("link.up", time_s, subject=link_id)
+        for link_id in vanished:
+            self.events.emit("link.down", time_s, subject=link_id)
 
 
 @contextmanager
@@ -142,6 +192,16 @@ class NullRecorder:
 
     def observe(self, name: str, value: float, label: str = "",
                 buckets: Optional[Sequence[float]] = None) -> None:
+        pass
+
+    def event(self, kind: str, time_s: float, subject: str = "",
+              **attrs) -> None:
+        pass
+
+    def sample_health(self, time_s: float, graph,
+                      utilization: Optional[Dict[Tuple[str, str],
+                                                 float]] = None,
+                      faults_active: int = 0, reset: bool = False) -> None:
         pass
 
 
@@ -202,3 +262,16 @@ def gauge(name: str, value: float, label: str = "") -> None:
 def observe(name: str, value: float, label: str = "",
             buckets: Optional[Sequence[float]] = None) -> None:
     _active.observe(name, value, label, buckets)
+
+
+def event(kind: str, time_s: float, subject: str = "", **attrs) -> None:
+    """Append a timeline event on the active recorder."""
+    _active.event(kind, time_s, subject, **attrs)
+
+
+def sample_health(time_s: float, graph,
+                  utilization: Optional[Dict[Tuple[str, str], float]] = None,
+                  faults_active: int = 0, reset: bool = False) -> None:
+    """Record a health-plane epoch on the active recorder."""
+    _active.sample_health(time_s, graph, utilization=utilization,
+                          faults_active=faults_active, reset=reset)

@@ -1,17 +1,23 @@
-"""Trace/metric exporters and the run manifest.
+"""Trace/metric/event exporters and the run manifest.
 
 The on-disk format is JSON Lines: one self-describing record per line,
 discriminated by a ``type`` field —
 
-* ``manifest`` — run identity: config hash, seed, package versions;
+* ``manifest`` — run identity: config hash, seed, package versions, and
+  run totals (event count, health epochs, snapshot-cache hits/misses);
 * ``counter`` / ``gauge`` / ``histogram`` — registry instruments;
 * ``phase`` — profiler aggregates;
-* ``span`` — individual trace spans (open order, parent links).
+* ``span`` — individual trace spans (open order, parent links);
+* ``event`` — timeline events (:mod:`repro.obs.events`);
+* ``health_epochs`` / ``health_links`` / ``health_nodes`` — the columnar
+  health plane (:mod:`repro.obs.health`).
 
 Records are emitted with sorted keys and metric rows in sorted
 ``(type, name, label)`` order, so two same-seed runs differ only in the
-wall-clock duration fields — the metric *values* are byte-identical.
-A flat CSV of the metric instruments is available for spreadsheet use.
+wall-clock duration fields — the metric *values* are byte-identical, and
+the event stream (which carries simulated time only) is byte-identical
+wholesale.  A flat CSV of the metric instruments and a Prometheus text
+exposition are available for spreadsheets and scrapers.
 """
 
 from __future__ import annotations
@@ -90,13 +96,44 @@ def run_manifest(config: Optional[Dict] = None,
     }
 
 
+def manifest_totals(recorder: Recorder) -> Dict:
+    """Run totals folded into the manifest at export time.
+
+    Reads counters without creating them (a totals pass must not change
+    the instrument set it is summarizing).
+    """
+    metrics = recorder.metrics
+    return {
+        "events": len(recorder.events),
+        "health_epochs": len(recorder.health),
+        "snapshot_cache_hits":
+            metrics.counter_value("network.snapshot_cache.hit") or 0.0,
+        "snapshot_cache_misses":
+            metrics.counter_value("network.snapshot_cache.miss") or 0.0,
+    }
+
+
+def _with_totals(recorder: Recorder, manifest: Optional[Dict]) -> Dict:
+    manifest = dict(manifest or run_manifest())
+    manifest["totals"] = manifest_totals(recorder)
+    return manifest
+
+
 def trace_rows(recorder: Recorder, manifest: Optional[Dict] = None) -> List[Dict]:
     """Every export record of one run, manifest first."""
-    rows: List[Dict] = [manifest or run_manifest()]
+    rows: List[Dict] = [_with_totals(recorder, manifest)]
     rows += recorder.metrics.rows()
     rows += recorder.profiler.rows()
     rows += recorder.tracer.rows()
     return rows
+
+
+def _write_jsonl(rows: List[Dict], path: Union[str, Path]) -> int:
+    with atomic_write(path) as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True, default=str))
+            handle.write("\n")
+    return len(rows)
 
 
 def write_trace_jsonl(recorder: Recorder, path: Union[str, Path],
@@ -106,12 +143,30 @@ def write_trace_jsonl(recorder: Recorder, path: Union[str, Path],
     Returns:
         Number of records written.
     """
-    rows = trace_rows(recorder, manifest)
-    with atomic_write(path) as handle:
-        for row in rows:
-            handle.write(json.dumps(row, sort_keys=True, default=str))
-            handle.write("\n")
-    return len(rows)
+    return _write_jsonl(trace_rows(recorder, manifest), path)
+
+
+def event_rows(recorder: Recorder, manifest: Optional[Dict] = None) -> List[Dict]:
+    """The event-stream export: manifest, health plane, then events.
+
+    Every field is derived from seeded simulation state (event times are
+    simulated, ordering is emission order), so same-seed runs produce
+    byte-identical streams.
+    """
+    rows: List[Dict] = [_with_totals(recorder, manifest)]
+    rows += recorder.health.rows()
+    rows += recorder.events.rows()
+    return rows
+
+
+def write_events_jsonl(recorder: Recorder, path: Union[str, Path],
+                       manifest: Optional[Dict] = None) -> int:
+    """Write the event stream + health plane as JSONL (atomic).
+
+    Returns:
+        Number of records written.
+    """
+    return _write_jsonl(event_rows(recorder, manifest), path)
 
 
 def write_metrics_csv(recorder: Recorder, path: Union[str, Path]) -> int:
@@ -133,6 +188,83 @@ def write_metrics_csv(recorder: Recorder, path: Union[str, Path]) -> int:
         for row in rows:
             writer.writerow(row)
     return len(rows)
+
+
+def _prom_name(name: str, namespace: str = "repro") -> str:
+    """Sanitize a dotted metric name into Prometheus form."""
+    flat = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _prom_labels(label: str) -> str:
+    if not label:
+        return ""
+    escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+    return f'{{label="{escaped}"}}'
+
+
+def prometheus_text(recorder: Recorder, namespace: str = "repro") -> str:
+    """The metric registry as Prometheus text exposition format.
+
+    Counters export as ``*_total``, gauges as-is, histograms as the
+    conventional ``*_bucket{le=...}`` / ``*_sum`` / ``*_count`` series.
+    Output order is the registry's sorted row order, so same-seed runs
+    produce identical expositions.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def header(prom: str, kind: str) -> None:
+        if prom not in typed:
+            typed.add(prom)
+            lines.append(f"# TYPE {prom} {kind}")
+
+    for row in recorder.metrics.rows():
+        kind = row["type"]
+        labels = _prom_labels(row.get("label", ""))
+        if kind == "counter":
+            prom = _prom_name(row["name"], namespace) + "_total"
+            header(prom, "counter")
+            lines.append(f"{prom}{labels} {row['value']:g}")
+        elif kind == "gauge":
+            prom = _prom_name(row["name"], namespace)
+            header(prom, "gauge")
+            lines.append(f"{prom}{labels} {row['value']:g}")
+        elif kind == "histogram":
+            prom = _prom_name(row["name"], namespace)
+            header(prom, "histogram")
+            label = row.get("label", "")
+            cumulative = 0
+            for bound, count in zip(row["bounds"], row["bucket_counts"]):
+                cumulative += count
+                lines.append(
+                    f"{prom}_bucket{_prom_bucket(label, bound)} {cumulative}"
+                )
+            lines.append(
+                f"{prom}_bucket{_prom_bucket(label, 'inf')} {row['count']}"
+            )
+            lines.append(f"{prom}_sum{labels} {row['total']:g}")
+            lines.append(f"{prom}_count{labels} {row['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_bucket(label: str, bound) -> str:
+    le = "+Inf" if bound == "inf" else f"{float(bound):g}"
+    if label:
+        escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+        return f'{{label="{escaped}",le="{le}"}}'
+    return f'{{le="{le}"}}'
+
+
+def write_prometheus_text(recorder: Recorder, path: Union[str, Path],
+                          namespace: str = "repro") -> int:
+    """Write the Prometheus exposition atomically; returns line count."""
+    text = prometheus_text(recorder, namespace)
+    with atomic_write(path) as handle:
+        handle.write(text)
+    return text.count("\n")
 
 
 def read_jsonl(path: Union[str, Path]) -> List[Dict]:
@@ -186,6 +318,13 @@ def summarize_records(records: Sequence[Dict], top: int = 10) -> str:
                 f"{k}={versions[k]}" for k in sorted(versions)
             )
         )
+        totals = manifest.get("totals")
+        if totals:
+            lines.append(
+                "totals: " + " ".join(
+                    f"{k}={totals[k]:g}" for k in sorted(totals)
+                )
+            )
 
     spans = by_type.get("span", [])
     if spans:
@@ -227,6 +366,63 @@ def summarize_records(records: Sequence[Dict], top: int = 10) -> str:
             label = f"{{{row['label']}}}" if row.get("label") else ""
             lines.append(f"  {row['name']}{label:<24} "
                          f"{float(row['value']):g}")
+
+    events = by_type.get("event", [])
+    if events:
+        kind_counts: Dict[str, int] = {}
+        subject_counts: Dict[str, int] = {}
+        for row in events:
+            kind_counts[str(row.get("kind", "?"))] = (
+                kind_counts.get(str(row.get("kind", "?")), 0) + 1
+            )
+            subject = str(row.get("subject", ""))
+            if subject:
+                subject_counts[subject] = subject_counts.get(subject, 0) + 1
+        lines.append("")
+        lines.append(f"events ({len(events)} total):")
+        for kind in sorted(kind_counts):
+            lines.append(f"  {kind:<24} {kind_counts[kind]}")
+        if subject_counts:
+            noisiest = sorted(subject_counts.items(),
+                              key=lambda item: (-item[1], item[0]))
+            lines.append("")
+            lines.append("noisiest subjects:")
+            for subject, count in noisiest[:top]:
+                lines.append(f"  {subject:<44} {count}")
+
+    for row in by_type.get("health_epochs", [])[:1]:
+        times = row.get("t", [])
+        if not times:
+            continue
+        links_up = row.get("links_up", [])
+        churn = row.get("route_churn", [])
+        lines.append("")
+        lines.append(
+            f"health: {len(times)} epochs over "
+            f"t=[{times[0]:g}, {times[-1]:g}] s, "
+            f"links_up min={min(links_up)} max={max(links_up)}, "
+            f"route_churn total={sum(churn):g}"
+        )
+
+    for row in by_type.get("health_links", [])[:1]:
+        ids = row.get("ids", [])
+        present = row.get("present_epochs", [])
+        epochs = max(
+            (len(e.get("t", [])) for e in by_type.get("health_epochs", [])),
+            default=0,
+        )
+        if not ids or not epochs:
+            continue
+        flappiest = sorted(
+            zip(ids, present), key=lambda item: (item[1], item[0])
+        )
+        lines.append("")
+        lines.append(f"lowest-availability links ({len(ids)} tracked):")
+        for link_id, count in flappiest[:top]:
+            lines.append(
+                f"  {link_id:<44} {count / epochs:.1%} "
+                f"({count}/{epochs} epochs)"
+            )
 
     histograms = by_type.get("histogram", [])
     if histograms:

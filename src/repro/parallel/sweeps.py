@@ -24,8 +24,17 @@ lands in the span's ``duration_s``, which the export layer already
 treats as nondeterministic) and records the point and job counts as
 metrics.  Metric *values* stay deterministic — same-seed runs export
 identical instruments regardless of ``jobs``.  Workers running in child
-processes have no recorder, so per-point spans only appear in traces
-for serial runs — metrics do not affect results either way.
+processes have no recorder, so per-point spans and worker metrics only
+appear in traces for serial runs — metrics do not affect results either
+way.
+
+**Events and the health plane survive the pool.**  When the parent
+recorder is enabled and the grid fans out, each worker installs a local
+recorder around its point, ships the point's event/health rows back with
+the result, and the parent replays them in point order — so the exported
+event stream and health plane are byte-identical at every ``jobs``
+value (each point establishes its own health-diff baseline; see
+:meth:`repro.obs.health.HealthPlane.sample`).
 """
 
 from __future__ import annotations
@@ -70,16 +79,25 @@ def derive_seed(base_seed: int, *components: Any) -> int:
     return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)
 
 
-def _timed_call(worker: Callable[[Any], Any],
-                point: Any) -> Tuple[float, Any]:
-    """Run one point, returning (busy seconds, result).
+def _timed_call(worker: Callable[[Any], Any], point: Any,
+                capture_events: bool = False) -> Tuple[float, Any, Any]:
+    """Run one point, returning (busy seconds, result, obs rows or None).
 
     Module-level so ``functools.partial(_timed_call, worker)`` stays
-    picklable for the process pool.
+    picklable for the process pool.  With ``capture_events`` (the pooled
+    path under an enabled parent recorder) a local recorder is installed
+    around the point and its event/health rows travel back with the
+    result for in-order replay by the parent.
     """
     start = time.perf_counter()
-    result = worker(point)
-    return time.perf_counter() - start, result
+    if not capture_events:
+        result = worker(point)
+        return time.perf_counter() - start, result, None
+    local = _obs.Recorder()
+    with _obs.use(local):
+        result = worker(point)
+    rows = local.health.rows() + local.events.rows()
+    return time.perf_counter() - start, result, rows
 
 
 def run_grid(worker: Callable[[Any], Any], points: Sequence[Any],
@@ -104,6 +122,7 @@ def run_grid(worker: Callable[[Any], Any], points: Sequence[Any],
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     points = list(points)
     worker_count = 1 if len(points) <= 1 else min(jobs, len(points))
+    recorder = _obs.active()
     # Wall time belongs to the span (duration_s is nondeterministic by
     # contract); the counters below must stay identical across runs.
     with _obs.span(f"parallel.{label}", points=len(points),
@@ -111,10 +130,18 @@ def run_grid(worker: Callable[[Any], Any], points: Sequence[Any],
         if worker_count == 1:
             timed = [_timed_call(worker, point) for point in points]
         else:
+            call = partial(_timed_call, worker,
+                           capture_events=recorder.enabled)
             with ProcessPoolExecutor(max_workers=worker_count) as pool:
-                timed = list(pool.map(partial(_timed_call, worker), points))
-    recorder = _obs.active()
-    if recorder.enabled and points:
-        recorder.count(f"parallel.{label}.points", len(points))
-        recorder.gauge(f"parallel.{label}.jobs", float(worker_count))
-    return [result for _, result in timed]
+                timed = list(pool.map(call, points))
+    if recorder.enabled:
+        # Replay worker timelines in point order: the merged stream is
+        # indistinguishable from the serial run's.
+        for _, _, rows in timed:
+            if rows:
+                recorder.health.replay_rows(rows)
+                recorder.events.replay_rows(rows)
+        if points:
+            recorder.count(f"parallel.{label}.points", len(points))
+            recorder.gauge(f"parallel.{label}.jobs", float(worker_count))
+    return [result for _, result, _ in timed]

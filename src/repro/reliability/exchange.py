@@ -129,21 +129,25 @@ class CircuitBreaker:
         self.open_count = 0
         self.rejected_count = 0
 
-    def _transition(self, state: BreakerState) -> None:
+    def _transition(self, state: BreakerState, now_s: float) -> None:
         if state is self.state:
             return
+        previous = self.state
         self.state = state
         recorder = _obs.active()
         if recorder.enabled:
             recorder.count("reliability.breaker.transitions",
                            label=state.value)
+            recorder.event("breaker.transition", now_s, subject=self.key,
+                           state=state.value, previous=previous.value,
+                           failures=self.consecutive_failures)
 
     def allow(self, now_s: float) -> bool:
         """Whether an exchange may run right now (may move OPEN→HALF_OPEN)."""
         if self.state is BreakerState.OPEN:
             if (self.opened_at_s is not None
                     and now_s - self.opened_at_s >= self.recovery_time_s):
-                self._transition(BreakerState.HALF_OPEN)
+                self._transition(BreakerState.HALF_OPEN, now_s)
                 return True
             self.rejected_count += 1
             recorder = _obs.active()
@@ -155,20 +159,20 @@ class CircuitBreaker:
     def record_success(self, now_s: float) -> None:
         self.consecutive_failures = 0
         self.opened_at_s = None
-        self._transition(BreakerState.CLOSED)
+        self._transition(BreakerState.CLOSED, now_s)
 
     def record_failure(self, now_s: float) -> None:
         if self.state is BreakerState.HALF_OPEN:
             # The trial failed: straight back to open, timer restarted.
             self.opened_at_s = now_s
             self.open_count += 1
-            self._transition(BreakerState.OPEN)
+            self._transition(BreakerState.OPEN, now_s)
             return
         self.consecutive_failures += 1
         if self.consecutive_failures >= self.failure_threshold:
             self.opened_at_s = now_s
             self.open_count += 1
-            self._transition(BreakerState.OPEN)
+            self._transition(BreakerState.OPEN, now_s)
 
 
 class CircuitBreakerRegistry:
@@ -299,6 +303,9 @@ class ReliableExchange:
                 if recorder.enabled:
                     recorder.count("reliability.exchange.retries",
                                    label=self.name)
+                    recorder.event("retransmission", now_s + elapsed,
+                                   subject=key, attempt=attempt,
+                                   exchange=self.name)
             attempts += 1
             if recorder.enabled:
                 recorder.count("reliability.exchange.attempts",

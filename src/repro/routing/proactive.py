@@ -457,6 +457,9 @@ class ProactiveRouter:
         recorder = _obs.active()
         if recorder.enabled and dropped:
             recorder.count("routing.proactive.invalidated", dropped)
+            recorder.event("route.invalidated", from_time_s,
+                           subject=",".join(sorted(affected)[:4]),
+                           elements=len(affected), routes=dropped)
         return dropped
 
     def routes_from(self, source: str,

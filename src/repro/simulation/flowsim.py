@@ -193,6 +193,7 @@ class FlowSimulator:
         return result
 
     def _simulate(self, flows: Sequence[FlowSpec]) -> FlowSimResult:
+        recorder = _obs.active()
         result = FlowSimResult()
         pending = sorted(flows, key=lambda f: f.start_s)
         active: List[ActiveFlow] = []
@@ -258,6 +259,11 @@ class FlowSimulator:
                         spec=spec, completed=False, start_s=spec.start_s,
                         finish_s=spec.start_s, mean_rate_bps=0.0, hop_count=0,
                     ))
+                    if recorder.enabled:
+                        recorder.event("session.drop", spec.start_s,
+                                       subject=spec.flow_id,
+                                       user=spec.user_id, reason="no-route",
+                                       qos=spec.qos_class)
                     continue
                 edges = [
                     self._key(u, v) for u, v in zip(path[:-1], path[1:])
@@ -271,6 +277,10 @@ class FlowSimulator:
                     spec=spec, path=list(path), edges=edges,
                     remaining_bytes=spec.size_bytes, admitted_at_s=now,
                 ))
+                if recorder.enabled:
+                    recorder.event("session.admit", now,
+                                   subject=spec.flow_id, user=spec.user_id,
+                                   hops=len(path) - 1, qos=spec.qos_class)
                 result.peak_concurrent_flows = max(
                     result.peak_concurrent_flows, len(active)
                 )

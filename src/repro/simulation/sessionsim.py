@@ -143,6 +143,7 @@ class SessionSimulator:
 
     def _replay(self, user: UserTerminal, start_s: float, end_s: float,
                 epoch_s: float, scheme: HandoverScheme) -> SessionTrace:
+        recorder = _obs.active()
         trace = SessionTrace(scheme=scheme, epoch_s=epoch_s)
         previous_satellite: Optional[str] = None
         for time_s in np.arange(start_s, end_s, epoch_s):
@@ -156,11 +157,26 @@ class SessionSimulator:
                     gateway=None, latency_ms=float("nan"),
                     bottleneck_mbps=0.0, handover=False,
                 ))
+                if recorder.enabled and previous_satellite is not None:
+                    recorder.event("session.drop", float(time_s),
+                                   subject=user.user_id,
+                                   satellite=previous_satellite,
+                                   reason="no-route")
                 previous_satellite = None
                 continue
             serving = metrics.path[1]
             handover = (previous_satellite is not None
                         and serving != previous_satellite)
+            if recorder.enabled:
+                if previous_satellite is None:
+                    recorder.event("session.admit", float(time_s),
+                                   subject=user.user_id, satellite=serving,
+                                   scheme=scheme.value)
+                elif handover:
+                    recorder.event("handover", float(time_s),
+                                   subject=serving,
+                                   from_satellite=previous_satellite,
+                                   user=user.user_id, scheme=scheme.value)
             if handover or previous_satellite is None:
                 outage = self.link_setup_s
                 if (scheme is HandoverScheme.REAUTHENTICATE

@@ -5,16 +5,23 @@ import json
 
 import pytest
 
+import networkx as nx
+
 from repro import obs
 from repro.obs.export import (
     atomic_write,
     config_hash,
+    event_rows,
+    manifest_totals,
+    prometheus_text,
     read_jsonl,
     run_manifest,
     summarize_file,
     summarize_records,
     trace_rows,
+    write_events_jsonl,
     write_metrics_csv,
+    write_prometheus_text,
     write_trace_jsonl,
 )
 
@@ -214,3 +221,106 @@ class TestSummarize:
         rows = trace_rows(recorder)
         assert rows[0]["type"] == "manifest"
         assert sum(1 for r in rows if r["type"] == "span") == 2
+
+
+@pytest.fixture
+def event_recorder():
+    graph = nx.Graph()
+    graph.add_edge("S1", "S2")
+    graph.add_edge("G1", "S1")
+    instance = obs.Recorder()
+    with obs.use(instance):
+        obs.sample_health(0.0, graph, reset=True)
+        obs.event("handover", 30.0, subject="sat:2", user="u-1")
+        obs.event("handover", 60.0, subject="sat:2", user="u-1")
+        obs.event("session.drop", 90.0, subject="u-2", reason="no-route")
+        obs.observe("latency_ms", 42.0)
+        obs.count("flows", 3, label="completed")
+    return instance
+
+
+class TestEventExport:
+    def test_record_order_manifest_health_events(self, event_recorder,
+                                                 tmp_path):
+        path = tmp_path / "events.jsonl"
+        written = write_events_jsonl(
+            event_recorder, path, run_manifest({}, seed=5, command="demo"))
+        records = read_jsonl(path)
+        assert len(records) == written
+        assert [r["type"] for r in records] == [
+            "manifest", "health_epochs", "health_links", "health_nodes",
+            "event", "event", "event"]
+        assert [r["kind"] for r in records if r["type"] == "event"] == [
+            "handover", "handover", "session.drop"]
+
+    def test_manifest_totals_folded_in(self, event_recorder, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(event_recorder, path,
+                           run_manifest({}, seed=5, command="demo"))
+        totals = read_jsonl(path)[0]["totals"]
+        assert totals["events"] == 3
+        assert totals["health_epochs"] == 1
+        assert "snapshot_cache_hits" in totals
+        assert "snapshot_cache_misses" in totals
+
+    def test_manifest_totals_does_not_create_counters(self, event_recorder):
+        before = event_recorder.metrics.instrument_count
+        manifest_totals(event_recorder)
+        assert event_recorder.metrics.instrument_count == before
+
+    def test_event_rows_without_manifest(self, event_recorder):
+        rows = event_rows(event_recorder)
+        assert rows[0]["type"] == "manifest"  # synthesized
+
+    def test_events_write_is_atomic(self, event_recorder, tmp_path,
+                                    monkeypatch):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(event_recorder, path)
+        before = path.read_text()
+
+        import json as json_module
+
+        def exploding_dumps(*_args, **_kwargs):
+            raise RuntimeError("serializer died")
+
+        monkeypatch.setattr(json_module, "dumps", exploding_dumps)
+        with pytest.raises(RuntimeError):
+            write_events_jsonl(event_recorder, path)
+        assert path.read_text() == before
+
+    def test_summarize_covers_events_and_health(self, event_recorder):
+        summary = summarize_records(
+            event_rows(event_recorder, run_manifest({}, seed=5)))
+        assert "events (3 total):" in summary
+        assert "handover" in summary
+        assert "noisiest subjects" in summary
+        assert "sat:2" in summary
+        assert "health:" in summary
+        assert "totals:" in summary
+
+
+class TestPrometheus:
+    def test_exposition_format(self, event_recorder):
+        text = prometheus_text(event_recorder)
+        lines = text.splitlines()
+        assert any(line.startswith("# TYPE repro_flows_total counter")
+                   for line in lines)
+        assert 'repro_flows_total{label="completed"} 3' in text
+        assert "# TYPE repro_latency_ms histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_latency_ms_sum 42" in text
+        assert "repro_latency_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized(self):
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            obs.count("network.snapshot_cache.hit")
+        text = prometheus_text(recorder)
+        assert "repro_network_snapshot_cache_hit_total" in text
+        assert "." not in text.split()[-2]
+
+    def test_write_returns_line_count(self, event_recorder, tmp_path):
+        path = tmp_path / "metrics.prom"
+        lines = write_prometheus_text(event_recorder, path)
+        assert lines == len(path.read_text().splitlines())

@@ -1,0 +1,140 @@
+"""Tests for the per-link / per-node health plane."""
+
+import networkx as nx
+
+from repro import obs
+from repro.obs.health import HealthPlane, link_key
+
+
+def _graph(*edges, satellites=()):
+    graph = nx.Graph()
+    for node in satellites:
+        graph.add_node(node, kind="satellite")
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestLinkKey:
+    def test_order_independent(self):
+        assert link_key("S2", "S1") == link_key("S1", "S2") == "S1--S2"
+
+
+class TestSampling:
+    def test_epoch_aggregates(self):
+        plane = HealthPlane()
+        plane.sample(0.0, _graph(("A", "B"), ("B", "C")),
+                     route_churn=2, faults_active=1)
+        assert len(plane) == 1
+        assert plane.links_up[0] == 2
+        assert plane.nodes_up[0] == 3
+        assert plane.route_churn[0] == 2
+        assert plane.faults_active[0] == 1
+
+    def test_diff_reports_appeared_and_vanished(self):
+        plane = HealthPlane()
+        appeared, vanished = plane.sample(0.0, _graph(("A", "B"), ("B", "C")))
+        assert (appeared, vanished) == ([], [])  # baseline
+        appeared, vanished = plane.sample(60.0, _graph(("A", "B"), ("C", "D")))
+        assert appeared == ["C--D"]
+        assert vanished == ["B--C"]
+
+    def test_reset_starts_fresh_baseline(self):
+        plane = HealthPlane()
+        plane.sample(0.0, _graph(("A", "B")))
+        appeared, vanished = plane.sample(60.0, _graph(("C", "D")),
+                                          reset=True)
+        assert (appeared, vanished) == ([], [])
+
+    def test_isl_counts_only_satellite_neighbors(self):
+        graph = _graph(("S1", "S2"), ("S1", "G1"),
+                       satellites=("S1", "S2"))
+        plane = HealthPlane()
+        plane.sample(0.0, graph)
+        # Two satellite rows; S1 has one satellite neighbor (G1 excluded).
+        assert list(plane._node_isls) == [1, 1]
+        assert plane._node_ids == ["S1", "S2"]
+
+    def test_utilization_samples_interned(self):
+        plane = HealthPlane()
+        plane.sample(0.0, _graph(("A", "B")),
+                     utilization={("B", "A"): 0.5})
+        assert list(plane._link_util) == [0.5]
+        assert plane._link_ids[plane._link_index[0]] == "A--B"
+
+
+class TestAvailability:
+    def test_fraction_of_epochs_present(self):
+        plane = HealthPlane()
+        plane.sample(0.0, _graph(("A", "B"), ("B", "C")))
+        plane.sample(60.0, _graph(("A", "B")))
+        assert plane.link_availability() == {"A--B": 1.0, "B--C": 0.5}
+
+    def test_worst_links_ascending(self):
+        plane = HealthPlane()
+        plane.sample(0.0, _graph(("A", "B"), ("B", "C")))
+        plane.sample(60.0, _graph(("A", "B")))
+        assert plane.worst_links(top=1) == [("B--C", 0.5)]
+
+    def test_empty_plane(self):
+        assert HealthPlane().link_availability() == {}
+        assert HealthPlane().rows() == []
+
+
+class TestExportReplay:
+    def test_rows_are_columnar_and_typed(self):
+        plane = HealthPlane()
+        plane.sample(0.0, _graph(("S1", "S2"), satellites=("S1", "S2")),
+                     utilization={("S1", "S2"): 0.25})
+        rows = plane.rows()
+        assert [row["type"] for row in rows] == [
+            "health_epochs", "health_links", "health_nodes"]
+        assert rows[0]["t"] == [0.0]
+        assert rows[1]["ids"] == ["S1--S2"]
+        assert rows[1]["utilization"] == [0.25]
+        assert rows[2]["isl_count"] == [1, 1]
+
+    def test_replay_merges_and_remaps(self):
+        worker = HealthPlane()
+        worker.sample(0.0, _graph(("A", "B")))
+        worker.sample(60.0, _graph(("A", "B"), ("B", "C")))
+        parent = HealthPlane()
+        parent.sample(0.0, _graph(("B", "C")))
+        assert parent.replay_rows(worker.rows()) == 2
+        assert len(parent) == 3
+        assert list(parent.epoch_t) == [0.0, 0.0, 60.0]
+        # Presence accumulates across the merge: B--C up in 1 parent epoch
+        # + 1 worker epoch out of 3 total.
+        availability = parent.link_availability()
+        assert availability["B--C"] == 2 / 3
+        assert availability["A--B"] == 2 / 3
+
+    def test_replay_equals_serial(self):
+        graphs = [
+            _graph(("A", "B"), ("B", "C")),
+            _graph(("A", "B")),
+            _graph(("A", "B"), ("C", "D")),
+        ]
+        serial = HealthPlane()
+        for index, graph in enumerate(graphs):
+            serial.sample(float(index), graph, reset=index == 0)
+        split = HealthPlane()
+        for index, graph in enumerate(graphs):
+            worker = HealthPlane()
+            worker.sample(float(index), graph, reset=True)
+            split.replay_rows(worker.rows())
+        assert split.rows() == serial.rows()
+
+
+class TestRecorderIntegration:
+    def test_sample_health_emits_link_events_and_churn(self):
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            obs.sample_health(0.0, _graph(("A", "B")), reset=True)
+            obs.event("route.invalidated", 30.0, subject="S1", routes=4)
+            obs.sample_health(60.0, _graph(("C", "D")))
+        kinds = recorder.events.counts_by_kind()
+        assert kinds["link.up"] == 1
+        assert kinds["link.down"] == 1
+        # The second epoch picks up the invalidation emitted between them.
+        assert list(recorder.health.route_churn) == [0, 1]

@@ -98,14 +98,21 @@ class TestObservability:
                          "--epochs", "3", "--trace", str(path)]) == 0
             capsys.readouterr()
             # The output path itself lands in the manifest config, so
-            # drop config fields along with wall-clock timings.
+            # drop config fields along with wall-clock timings.  Phase
+            # rows export slowest-first, so their order is wall-clock
+            # dependent too — compare records order-insensitively.
             nondeterministic = ("duration_s", "total_s", "max_s",
                                 "config", "config_hash")
-            return [
-                {k: v for k, v in record.items()
-                 if k not in nondeterministic}
-                for record in read_jsonl(path)
-            ]
+            return sorted(
+                (
+                    {k: v for k, v in record.items()
+                     if k not in nondeterministic}
+                    for record in read_jsonl(path)
+                ),
+                key=lambda record: sorted(
+                    (k, str(v)) for k, v in record.items()
+                ),
+            )
 
         assert capture("a.jsonl") == capture("b.jsonl")
 
@@ -143,6 +150,116 @@ class TestObservability:
     def test_requires_coordinates(self):
         with pytest.raises(SystemExit):
             main(["latency", "--lat", "10.0"])
+
+
+class TestEventExportFlags:
+    QUICK_SWEEP = ["faults", "sweep", "--mtbf-hours", "2",
+                   "--horizon", "1200", "--epochs", "2", "--seed", "7"]
+
+    def test_events_out_writes_timeline(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        events = tmp_path / "events.jsonl"
+        assert main(self.QUICK_SWEEP + ["--events-out", str(events)]) == 0
+        assert "event records)" in capsys.readouterr().out
+        records = read_jsonl(events)
+        assert records[0]["type"] == "manifest"
+        assert records[0]["totals"]["events"] > 0
+        kinds = {r["kind"] for r in records if r["type"] == "event"}
+        assert "fault.inject" in kinds
+        assert {r["type"] for r in records} >= {"health_epochs",
+                                                "health_links"}
+
+    def test_events_out_byte_identical_across_runs_and_jobs(self, capsys,
+                                                            tmp_path):
+        def capture(name, *extra):
+            path = tmp_path / name
+            assert main(self.QUICK_SWEEP + list(extra)
+                        + ["--events-out", str(path)]) == 0
+            capsys.readouterr()
+            # The manifest embeds the output path and job count; every
+            # other record must match byte for byte.
+            lines = path.read_text().splitlines()
+            assert '"type": "manifest"' in lines[0]
+            return lines[1:]
+
+        serial = capture("a.jsonl")
+        assert capture("b.jsonl") == serial
+        assert capture("p.jsonl", "--jobs", "2") == serial
+
+    def test_prom_out_writes_exposition(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(["figure2b", "--counts", "10", "--trials", "2",
+                     "--epochs", "3", "--prom-out", str(prom)]) == 0
+        assert "exposition lines)" in capsys.readouterr().out
+        text = prom.read_text()
+        assert "# TYPE" in text
+        assert "repro_" in text
+
+    def test_flight_recorder_dump_on_crash(self, capsys, tmp_path,
+                                           monkeypatch):
+        import repro.cli as cli_module
+
+        def exploding(_args):
+            from repro import obs
+            obs.event("fault.inject", 1.0, subject="f-0")
+            obs.event("link.down", 2.0, subject="S1--S2")
+            raise RuntimeError("mid-run crash")
+
+        # build_parser resolves command handlers by name at call time, so
+        # patching the module global reroutes the figure2a subcommand.
+        monkeypatch.setitem(
+            cli_module.__dict__, "_cmd_figure2a", exploding)
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            cli_module.main(["figure2a", "--flight-recorder", "8",
+                             "--events-out", str(tmp_path / "e.jsonl")])
+        err = capsys.readouterr().err
+        assert "flight recorder: last 2 of 2 events" in err
+        assert "fault.inject" in err
+        assert "S1--S2" in err
+
+    def test_bad_flight_recorder_size_is_clean_error(self, capsys):
+        assert main(["figure2a", "--flight-recorder", "0"]) == 2
+        assert "bad observability options" in capsys.readouterr().err
+
+
+class TestObsReport:
+    def test_report_from_events_file(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(["faults", "sweep", "--mtbf-hours", "2",
+                     "--horizon", "1200", "--epochs", "2", "--seed", "7",
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "report.html"
+        assert main(["obs", "report", str(events),
+                     "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Event timeline" in html
+        assert "fault.inject" in html
+
+    def test_report_missing_file(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_report_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["obs", "report", str(bad), "--out",
+                     str(tmp_path / "r.html")]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_summarize_events_file(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(["faults", "sweep", "--mtbf-hours", "2",
+                     "--horizon", "1200", "--epochs", "2", "--seed", "7",
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "events (" in out
+        assert "lowest-availability links" in out
 
 
 class TestAvailabilityCommand:
