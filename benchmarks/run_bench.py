@@ -54,6 +54,7 @@ from repro.experiments.figure2 import (
     figure_2b_latency,
     figure_2c_coverage,
 )
+from repro.experiments.demand import demand_sweep
 from repro.experiments.reliability import reliability_sweep
 from repro.experiments.resilience_dynamic import dynamic_resilience_sweep
 from repro.ground.station import default_station_network
@@ -322,6 +323,137 @@ def bench_obs_overhead() -> dict:
             "speedup": enabled_s / disabled_s}
 
 
+def _scalar_fluid_rates(demand, paths, graph):
+    """Per-flow reference of the whole fluid evaluation (given routes).
+
+    The honest pre-vectorization implementation: python loops and dicts
+    over individual flows — edge interning, offered-load accumulation,
+    and progressive-filling waterfill with the same semantics, edge
+    indexing, and tie-breaking as ``repro.demand.fluid.run_fluid``
+    (so the resulting rates match bitwise-close).
+    """
+    flows = len(demand)
+    edge_slot = {}
+    capacities = []
+    flow_edge_slots = []
+    offered = []
+    for i, path in enumerate(paths):
+        slots = []
+        if path is not None and len(path) >= 2:
+            for u, v in zip(path[:-1], path[1:]):
+                key = (u, v) if u <= v else (v, u)
+                slot = edge_slot.get(key)
+                if slot is None:
+                    slot = len(capacities)
+                    edge_slot[key] = slot
+                    capacities.append(float(
+                        graph[u][v].get("capacity_bps", math.inf)
+                    ))
+                    offered.append(0.0)
+                slots.append(slot)
+                offered[slot] += demand[i]
+        flow_edge_slots.append(slots)
+    rates = [0.0] * flows
+    residual = list(capacities)
+    # Unrouted flows (no slots) freeze at rate 0, matching run_fluid's
+    # zeroed effective demand for them.
+    frozen = [demand[i] <= 0.0 or not flow_edge_slots[i]
+              for i in range(flows)]
+    while not all(frozen):
+        counts = [0] * len(residual)
+        for i in range(flows):
+            if frozen[i]:
+                continue
+            for slot in flow_edge_slots[i]:
+                counts[slot] += 1
+        level = math.inf
+        bottleneck = None
+        for slot, count in enumerate(counts):
+            if count == 0:
+                continue
+            share = max(residual[slot], 0.0) / count
+            if share < level:
+                level, bottleneck = share, slot
+        if bottleneck is None:
+            for i in range(flows):
+                if not frozen[i]:
+                    rates[i] = demand[i]
+                    frozen[i] = True
+            break
+        newly = [i for i in range(flows)
+                 if not frozen[i] and demand[i] <= level * (1.0 + 1e-12)]
+        if newly:
+            for i in newly:
+                rates[i] = demand[i]
+        else:
+            newly = [i for i in range(flows)
+                     if not frozen[i] and bottleneck in flow_edge_slots[i]]
+            for i in newly:
+                rates[i] = level
+        for i in newly:
+            frozen[i] = True
+            for slot in flow_edge_slots[i]:
+                residual[slot] -= rates[i]
+    loads = [0.0] * len(capacities)
+    for i in range(flows):
+        for slot in flow_edge_slots[i]:
+            loads[slot] += rates[i]
+    return rates, loads
+
+
+def bench_demand_fluid() -> dict:
+    """The million-user fluid traffic plane: scalar loops vs array ops.
+
+    This is the acceptance measurement for ``repro.demand``: one sweep
+    point loads >= 1M modeled users (aggregated over ground cells) and
+    the vectorized engine (incidence scatter-adds + whole-array
+    waterfilling) must beat the faithful per-flow dict reference on the
+    identical fixed point, with the fixed point converging.
+    """
+    from repro.demand import GridSpec, offered_load_bps, population_grid
+    from repro.demand.fluid import map_cells_to_routes, run_fluid
+    from repro.experiments.demand import PROVIDERS, scale_access_capacity
+
+    total_users = 1_200_000
+    grid = population_grid(total_users, np.random.default_rng(7),
+                           GridSpec(bands=36, equator_columns=72))
+    assert grid.total_users >= 1_000_000
+    fleet = build_fleet(iridium_like(), "bench-fleet", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, default_station_network())
+    terminals = grid.terminals(PROVIDERS, min_elevation_deg=10.0)
+    graph = network.snapshot(72000.0, users=terminals).graph
+    occupied = grid.occupied
+    cell_ids = grid.cell_ids(occupied)
+    scale_access_capacity(graph, {
+        cell_id: int(grid.users[index])
+        for cell_id, index in zip(cell_ids, occupied)
+    })
+    demand = offered_load_bps(grid.users[occupied], grid.lon_deg[occupied],
+                              hour_utc=20.0)
+    # Route mapping is shared setup (the CSR-vs-networkx benchmarks
+    # already price the Dijkstra work); the ratio isolates the fluid
+    # fixed point itself.
+    paths = map_cells_to_routes(graph, cell_ids)
+
+    result = run_fluid(graph, cell_ids, demand, paths=paths)
+    assert result.converged, "fluid fixed point failed to converge"
+
+    demand_list = [float(d) for d in demand]
+    scalar_rates, _ = _scalar_fluid_rates(demand_list, paths, graph)
+    assert np.allclose(scalar_rates, result.rate_bps, rtol=1e-9), \
+        "scalar reference diverged from vectorized waterfill"
+
+    scalar_s = _timeit(lambda: _scalar_fluid_rates(
+        demand_list, paths, graph), repeat=2)
+    vectorized_s = _timeit(lambda: run_fluid(
+        graph, cell_ids, demand, paths=paths), repeat=2)
+    return {"scalar_s": scalar_s, "vectorized_s": vectorized_s,
+            "speedup": scalar_s / vectorized_s,
+            "modeled_users": grid.total_users,
+            "routed_cells": int(result.routed.sum()),
+            "waterfill_iterations": int(result.iterations)}
+
+
 def bench_determinism(jobs: int) -> dict:
     """Digest each sweep at jobs=1 and jobs=N; they must agree."""
     cases = {}
@@ -335,6 +467,12 @@ def bench_determinism(jobs: int) -> dict:
     cases["faults"] = (
         _digest(dynamic_resilience_sweep(jobs=1, **faults_kwargs)),
         _digest(dynamic_resilience_sweep(jobs=jobs, **faults_kwargs)),
+    )
+    demand_kwargs = dict(satellite_counts=(24,), hours_utc=(4.0, 20.0),
+                         total_users=200_000, bands=10, equator_columns=20)
+    cases["demand"] = (
+        _digest(demand_sweep(jobs=1, **demand_kwargs)),
+        _digest(demand_sweep(jobs=jobs, **demand_kwargs)),
     )
     return {
         name: {"serial": serial, "parallel": parallel,
@@ -376,23 +514,45 @@ def bench_backend_equivalence() -> dict:
     }
 
 
-def run_all(jobs: int) -> dict:
-    benchmarks = {
-        "propagation": bench_propagation(),
-        "relay_mesh": bench_relay_mesh(),
-        "figure2_sweep": bench_figure2_sweep(),
-        "routing_precompute": bench_routing_precompute(),
-        "routing_relay": bench_routing_relay(),
-        "snapshot_cache": bench_snapshot_cache(),
-        "obs_overhead": bench_obs_overhead(),
-    }
-    return {
+BENCH_CASES = {
+    "propagation": bench_propagation,
+    "relay_mesh": bench_relay_mesh,
+    "figure2_sweep": bench_figure2_sweep,
+    "routing_precompute": bench_routing_precompute,
+    "routing_relay": bench_routing_relay,
+    "snapshot_cache": bench_snapshot_cache,
+    "obs_overhead": bench_obs_overhead,
+    "demand_fluid": bench_demand_fluid,
+}
+
+
+def run_all(jobs: int, only=None) -> dict:
+    """Run the harness; ``only`` restricts to the named benchmark cases.
+
+    A filtered run (the CI smoke path) skips the determinism and
+    backend-equivalence sections — it is a targeted measurement, not the
+    full gate, and cannot be used with ``--check``.
+    """
+    names = list(BENCH_CASES) if not only else list(only)
+    unknown = [name for name in names if name not in BENCH_CASES]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark case(s) {unknown}; "
+            f"expected names from {sorted(BENCH_CASES)}"
+        )
+    benchmarks = {name: BENCH_CASES[name]() for name in names}
+    result = {
         "schema": 1,
         "jobs": jobs,
         "benchmarks": benchmarks,
-        "determinism": bench_determinism(jobs),
-        "backend_equivalence": bench_backend_equivalence(),
     }
+    if only:
+        result["determinism"] = {}
+        result["backend_equivalence"] = {}
+    else:
+        result["determinism"] = bench_determinism(jobs)
+        result["backend_equivalence"] = bench_backend_equivalence()
+    return result
 
 
 def check(result: dict, baseline: dict, tolerance: float) -> list:
@@ -439,9 +599,16 @@ def main(argv=None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="also write the measured ratios as the new "
                              "baseline")
+    parser.add_argument("--only", nargs="+", metavar="NAME", default=None,
+                        help="run only the named benchmark cases "
+                             "(skips determinism/backend sections; "
+                             "incompatible with --check)")
     args = parser.parse_args(argv)
+    if args.only and (args.check or args.write_baseline):
+        parser.error("--only cannot be combined with --check or "
+                     "--write-baseline (partial runs are not a gate)")
 
-    result = run_all(args.jobs)
+    result = run_all(args.jobs, only=args.only)
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True)
                            + "\n")
     print(f"wrote {args.output}")

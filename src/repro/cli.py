@@ -16,6 +16,9 @@ reproduction without writing any code:
   with recovery metrics (time-to-reroute, MTTR, rerouted vs dropped);
 * ``reliability sweep`` — control-plane reliability: auth success and
   association-latency inflation under lossy signaling and ISL flaps;
+* ``demand sweep`` — the million-user fluid traffic plane: diurnal
+  congestion (utilization, delay inflation) and settlement revenue vs
+  constellation size, byte-identical at any ``--jobs`` count;
 * ``obs summarize`` — render a previously captured telemetry file;
 * ``obs report`` — self-contained HTML timeline/health report from a
   captured event stream.
@@ -400,6 +403,36 @@ def _cmd_reliability_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_demand_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.demand import demand_sweep
+
+    try:
+        rows = demand_sweep(
+            satellite_counts=tuple(args.satellites),
+            hours_utc=tuple(args.hours),
+            total_users=args.users, bands=args.bands,
+            equator_columns=args.equator_columns,
+            distribution=args.distribution, spread_deg=args.spread,
+            seed=args.seed, duration_s=args.duration, jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"bad demand sweep options: {exc}", file=sys.stderr)
+        return 1
+    print("sats hour users cells routed offered_gbps served "
+          "mean_util peak_util p95_infl revenue_usd iters conv")
+    for row in rows:
+        print(f"{row['satellites']:>4} {row['hour_utc']:>4.1f} "
+              f"{row['users']:>8} {row['cells']:>5} "
+              f"{row['routed_cells']:>6} {row['offered_gbps']:>12.3f} "
+              f"{row['served_fraction']:>6.4f} "
+              f"{row['mean_utilization']:>9.4f} "
+              f"{row['peak_utilization']:>9.4f} "
+              f"{row['p95_delay_inflation']:>8.3f} "
+              f"{row['revenue_usd']:>11.2f} {row['iterations']:>5} "
+              f"{str(row['converged']):>5}")
+    return 0
+
+
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs.export import summarize_file
 
@@ -604,6 +637,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-attempt auth timeout, s")
     prs.add_argument("--seed", type=int, default=11)
     prs.set_defaults(func=_cmd_reliability_sweep)
+
+    pdem = sub.add_parser("demand",
+                          help="million-user fluid traffic plane")
+    dem_sub = pdem.add_subparsers(dest="demand_command", required=True)
+    pds = dem_sub.add_parser(
+        "sweep", parents=[obs_flags, jobs_flags],
+        help="diurnal congestion & revenue vs constellation size")
+    pds.add_argument("--satellites", type=int, nargs="+",
+                     default=[24, 66],
+                     help="Walker-Delta fleet sizes to sweep")
+    pds.add_argument("--hours", type=float, nargs="+",
+                     default=[4.0, 12.0, 20.0],
+                     help="UTC hours sampled (diurnal curve runs on "
+                          "local solar time)")
+    pds.add_argument("--users", type=int, default=1_000_000,
+                     help="modeled subscriber count")
+    pds.add_argument("--bands", type=int, default=18,
+                     help="equal-area latitude bands of the grid")
+    pds.add_argument("--equator-columns", type=int, default=36,
+                     help="longitude columns at the equator")
+    pds.add_argument("--distribution",
+                     choices=("uniform_land", "underserved"),
+                     default="uniform_land",
+                     help="subscriber placement model")
+    pds.add_argument("--spread", type=float, default=6.0,
+                     help="underserved cluster spread, degrees")
+    pds.add_argument("--duration", type=float, default=3600.0,
+                     help="settlement interval per point, s")
+    pds.add_argument("--seed", type=int, default=7)
+    pds.set_defaults(func=_cmd_demand_sweep)
 
     pobs = sub.add_parser("obs", help="inspect captured telemetry")
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)

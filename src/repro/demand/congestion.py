@@ -1,0 +1,184 @@
+"""Wiring fluid congestion outward: routing costs, health, settlement.
+
+The fluid fixed point (:mod:`repro.demand.fluid`) produces per-link
+utilization.  This module converts that into the shapes the rest of the
+system consumes:
+
+* queueing-delay inflation written back onto snapshot edges, so the
+  metric-aware routers (:class:`repro.routing.qos.QosRouter` cost
+  models) price congested links higher;
+* background-load maps for :class:`repro.routing.adaptive
+  .LoadAdaptiveRouter`, so per-flow adaptive routing avoids links the
+  fluid plane already filled;
+* utilization samples for the :class:`repro.obs.health.HealthPlane`
+  link series (the PR 6 flight-recorder plane);
+* transit volumes filed into :class:`repro.economics.ledger
+  .TrafficLedger` and settled into operator revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.demand.fluid import MAX_UTILIZATION, FluidResult
+from repro.economics.ledger import TrafficLedger
+from repro.economics.settlement import Invoice, RateCard, SettlementEngine
+
+
+@dataclass
+class CongestionState:
+    """Per-link congestion derived from one fluid fixed point.
+
+    All maps use canonical sorted ``(u, v)`` keys in sorted iteration
+    order (deterministic exports).
+
+    Attributes:
+        utilization: ``(u, v) -> load / capacity`` for every route edge.
+        load_bps: ``(u, v) -> allocated bits/s`` for loaded edges.
+        queue_delay_s: ``(u, v) -> added M/M/1 queueing delay`` at the
+            link's utilization (``delay * u / (1 - u)``, utilization
+            clamped below 1 so saturated links stay finite).
+    """
+
+    utilization: Dict[Tuple[str, str], float]
+    load_bps: Dict[Tuple[str, str], float]
+    queue_delay_s: Dict[Tuple[str, str], float]
+
+    def inflate_queue_delays(self, graph) -> int:
+        """Add congestion queueing delay onto snapshot edges, in place.
+
+        Edges accumulate into their ``queue_delay_s`` attribute (created
+        at 0.0 for space links, which normally omit it), so cost models
+        with a ``queue_weight`` price congestion without any new edge
+        schema.  Returns the number of edges touched.
+        """
+        touched = 0
+        for (u, v), added in self.queue_delay_s.items():
+            if added <= 0.0 or not graph.has_edge(u, v):
+                continue
+            data = graph[u][v]
+            data["queue_delay_s"] = data.get("queue_delay_s", 0.0) + added
+            touched += 1
+        return touched
+
+    def background_load_bps(self) -> Dict[Tuple[str, str], float]:
+        """Loaded links' absolute bits/s, for ``LoadAdaptiveRouter``."""
+        return {key: load for key, load in self.load_bps.items()
+                if load > 0.0}
+
+
+def congestion_state(result: FluidResult) -> CongestionState:
+    """Derive the :class:`CongestionState` of one fluid fixed point."""
+    utilization = {}
+    load_bps = {}
+    queue_delay = {}
+    order = sorted(range(len(result.edge_keys)),
+                   key=lambda slot: result.edge_keys[slot])
+    for slot in order:
+        key = result.edge_keys[slot]
+        capacity = float(result.edge_capacity_bps[slot])
+        load = float(result.edge_load_bps[slot])
+        fraction = (load / capacity
+                    if np.isfinite(capacity) and capacity > 0.0 else 0.0)
+        utilization[key] = fraction
+        if load > 0.0:
+            load_bps[key] = load
+        clamped = min(fraction, MAX_UTILIZATION)
+        queue_delay[key] = (float(result.edge_delay_s[slot])
+                            * clamped / (1.0 - clamped))
+    return CongestionState(utilization=utilization, load_bps=load_bps,
+                           queue_delay_s=queue_delay)
+
+
+@dataclass
+class DemandSettlement:
+    """Revenue outcome of settling one fluid interval.
+
+    Attributes:
+        invoices: Per (carrier, customer) bills.
+        revenue_usd: Total billed across all invoices.
+        carried_gb: Total billable carried volume.
+        net_positions: Per-ISP net cash position.
+    """
+
+    invoices: List[Invoice]
+    revenue_usd: float
+    carried_gb: float
+    net_positions: Dict[str, float]
+
+
+def settle_demand(result: FluidResult, graph, duration_s: float,
+                  rate_cards: Optional[Dict[str, RateCard]] = None,
+                  segment_kind: str = "gateway",
+                  time_s: float = 0.0) -> DemandSettlement:
+    """File fluid-interval transit into a ledger and settle it.
+
+    Each routed cell's allocated rate over ``duration_s`` becomes one
+    path transfer: the cell's home provider is the source ISP, and the
+    owners of the nodes along its serving route are the carriers
+    ("tracked by all parties involved").  Carrying an ISP's own traffic
+    is not billable, so only cross-operator transit produces revenue.
+
+    Args:
+        result: A converged fluid fixed point.
+        graph: The snapshot the fixed point was computed on (provides
+            node ``owner`` attributes).
+        duration_s: Interval the fluid rates were sustained for.
+        rate_cards: Carrier rate cards (default cards otherwise).
+        segment_kind: Technology class used for billing.
+        time_s: Ledger timestamp for the interval.
+
+    Returns:
+        The settled interval.
+    """
+    if duration_s <= 0.0:
+        raise ValueError(f"duration must be > 0, got {duration_s}")
+    ledger = TrafficLedger()
+    for index, cell_id in enumerate(result.cell_ids):
+        path = result.paths[index]
+        if path is None or len(path) < 2:
+            continue
+        rate = float(result.rate_bps[index])
+        if rate <= 0.0:
+            continue
+        gigabytes = rate * duration_s / 8.0 / 1e9
+        source = graph.nodes[path[0]].get("owner", "unknown")
+        carriers = [
+            graph.nodes[node].get("owner", "unknown") for node in path[1:]
+        ]
+        ledger.file_path_transfer(
+            transfer_id=f"{cell_id}@{time_s:.0f}",
+            source_isp=source, carrier_path=carriers,
+            gigabytes=gigabytes, time_s=time_s,
+        )
+    engine = SettlementEngine(rate_cards=rate_cards)
+    invoices = engine.invoices_from_ledger(ledger, segment_kind=segment_kind)
+    return DemandSettlement(
+        invoices=invoices,
+        revenue_usd=float(sum(i.amount_usd for i in invoices)),
+        carried_gb=float(sum(i.gigabytes for i in invoices)),
+        net_positions=engine.net_positions(invoices),
+    )
+
+
+def peak_statistics(result: FluidResult) -> Dict[str, float]:
+    """Summary congestion statistics for one fixed point.
+
+    Returns mean/peak utilization over loaded links and the share of
+    loaded links above 90% utilization (the congestion headline numbers
+    the demand sweep reports).
+    """
+    fractions = np.asarray(
+        [f for f in result.utilization.values() if f > 0.0]
+    )
+    if fractions.size == 0:
+        return {"mean_utilization": 0.0, "peak_utilization": 0.0,
+                "hot_link_share": 0.0}
+    return {
+        "mean_utilization": float(fractions.mean()),
+        "peak_utilization": float(fractions.max()),
+        "hot_link_share": float((fractions > 0.9).mean()),
+    }

@@ -1,0 +1,396 @@
+"""The vectorized fluid-flow traffic engine.
+
+Millions of users become array operations: each loaded ground cell is
+one *aggregate flow* from its cell terminal to its serving gateway.
+Routes come from one batched multi-source Dijkstra over the snapshot's
+CSR adjacency (every cell in a single ``scipy.sparse.csgraph`` call);
+per-link offered load is a scatter-add over the flow→edge incidence
+arrays; and rates come from a demand-capped max-min-fair waterfilling
+fixed point — the same progressive-filling fairness the flow-level
+simulator (:func:`repro.simulation.flowsim.max_min_fair_rates`)
+computes per flow, evaluated here as whole-array steps.
+
+Each waterfilling iteration either freezes every demand-limited flow
+below the current water level at once or resolves one bottleneck link,
+so the loop runs for at most ``flows`` iterations and in practice for
+about the number of congested links.  The fixed point is verified on
+exit: no link over capacity, and no unfrozen flow left below its fair
+share (``converged``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.routing.csr import (
+    BACKEND_CSR,
+    CsrAdjacency,
+    delay_weight,
+    resolve_backend,
+)
+
+#: Utilization is clamped below 1 when deriving queueing-delay
+#: inflation so saturated links price as very expensive, not infinite.
+MAX_UTILIZATION = 0.99
+
+
+def edge_key(u: str, v: str) -> Tuple[str, str]:
+    """Canonical undirected edge key (sorted node pair)."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class FluidResult:
+    """Outcome of one fluid fixed-point evaluation.
+
+    Flow-indexed arrays are parallel to ``cell_ids``; edge-indexed
+    arrays are parallel to ``edge_keys`` (the union of edges on any
+    selected route, deterministic first-use order).
+
+    Attributes:
+        cell_ids: The aggregate flows, in input order.
+        demand_bps: Offered load per flow.
+        rate_bps: Allocated max-min-fair rate per flow (0 when
+            unrouted).
+        routed: Whether a gateway route existed for each flow.
+        paths: Selected node path per flow (None when unrouted).
+        edge_keys: Canonical (u, v) per edge slot.
+        edge_capacity_bps: Link capacity per edge slot.
+        edge_load_bps: Allocated load per edge slot.
+        edge_offered_bps: Offered (pre-waterfilling) load per edge slot.
+        edge_delay_s: Propagation delay per edge slot.
+        iterations: Waterfilling iterations used.
+        converged: Fixed point reached and verified.
+    """
+
+    cell_ids: List[str]
+    demand_bps: np.ndarray
+    rate_bps: np.ndarray
+    routed: np.ndarray
+    paths: List[Optional[List[str]]]
+    edge_keys: List[Tuple[str, str]]
+    edge_capacity_bps: np.ndarray
+    edge_load_bps: np.ndarray
+    edge_offered_bps: np.ndarray
+    edge_delay_s: np.ndarray
+    iterations: int
+    converged: bool
+    #: Flow→edge incidence: entry k says flow ``entry_flow[k]`` crosses
+    #: edge slot ``entry_edge[k]``.
+    entry_flow: np.ndarray = field(repr=False, default=None)
+    entry_edge: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def utilization(self) -> Dict[Tuple[str, str], float]:
+        """Allocated utilization per link, ``(u, v) -> load/capacity``."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(
+                np.isfinite(self.edge_capacity_bps)
+                & (self.edge_capacity_bps > 0.0),
+                self.edge_load_bps / self.edge_capacity_bps, 0.0,
+            )
+        return {
+            key: float(fraction)
+            for key, fraction in zip(self.edge_keys, fractions)
+        }
+
+    @property
+    def served_fraction(self) -> float:
+        """Allocated / offered load, over all flows (1.0 when idle)."""
+        offered = float(self.demand_bps.sum())
+        if offered <= 0.0:
+            return 1.0
+        return float(self.rate_bps.sum()) / offered
+
+    def delay_inflation(self) -> np.ndarray:
+        """Per-flow M/M/1 route-delay inflation (1.0 = uncongested).
+
+        Each link's propagation delay inflates by ``1 / (1 - u)`` at its
+        allocated utilization; a flow's inflation is the ratio of its
+        congested to uncongested route delay.  Unrouted flows report 1.
+        """
+        flows = len(self.cell_ids)
+        if flows == 0:
+            return np.zeros(0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                np.isfinite(self.edge_capacity_bps)
+                & (self.edge_capacity_bps > 0.0),
+                self.edge_load_bps / self.edge_capacity_bps, 0.0,
+            )
+        util = np.minimum(util, MAX_UTILIZATION)
+        inflated = self.edge_delay_s / (1.0 - util)
+        base = np.bincount(self.entry_flow,
+                           weights=self.edge_delay_s[self.entry_edge],
+                           minlength=flows)
+        congested = np.bincount(self.entry_flow,
+                                weights=inflated[self.entry_edge],
+                                minlength=flows)
+        ratio = np.ones(flows)
+        positive = base > 0.0
+        ratio[positive] = congested[positive] / base[positive]
+        return ratio
+
+
+def weighted_percentile(values: np.ndarray, weights: np.ndarray,
+                        fraction: float) -> float:
+    """Weight-cumulative percentile (deterministic, stable sort)."""
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.size == 0 or weights.sum() <= 0.0:
+        return float("nan")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    order = np.argsort(values, kind="stable")
+    cumulative = np.cumsum(weights[order])
+    index = int(np.searchsorted(cumulative, fraction * cumulative[-1]))
+    return float(values[order[min(index, values.size - 1)]])
+
+
+def map_cells_to_routes(graph, cell_ids: Sequence[str],
+                        backend: Optional[str] = None,
+                        ) -> List[Optional[List[str]]]:
+    """Serving route (cell → cheapest gateway) for every cell at once.
+
+    Under the CSR backend this is one batched multi-source Dijkstra for
+    the whole cell set, then an argmin over the gateway columns of the
+    distance matrix (first-listed gateway wins ties, matching the
+    per-source routers).  The networkx fallback runs one single-source
+    search per cell.
+
+    Returns:
+        One node path per cell id, ``None`` where no gateway is
+        reachable.
+    """
+    gateways = [
+        node for node, data in graph.nodes(data=True)
+        if data.get("kind") == "ground_station"
+    ]
+    cell_list = list(cell_ids)
+    if not gateways or not cell_list:
+        return [None] * len(cell_list)
+    if resolve_backend(backend) == BACKEND_CSR:
+        adjacency = CsrAdjacency.from_graph(graph, weight=delay_weight)
+        known = [cell for cell in cell_list if cell in adjacency]
+        paths_by_cell: Dict[str, Optional[List[str]]] = {}
+        if known:
+            shortest = adjacency.shortest_paths(known)
+            gateway_cols = np.asarray(
+                [adjacency.index[g] for g in gateways], dtype=np.int64
+            )
+            distances = shortest.dist[:, gateway_cols]
+            best = np.argmin(distances, axis=1)
+            for row, cell in enumerate(known):
+                column = int(best[row])
+                if not np.isfinite(distances[row, column]):
+                    paths_by_cell[cell] = None
+                    continue
+                paths_by_cell[cell] = shortest.path(cell, gateways[column])
+        return [paths_by_cell.get(cell) for cell in cell_list]
+
+    import networkx as nx
+
+    results: List[Optional[List[str]]] = []
+    for cell in cell_list:
+        if cell not in graph:
+            results.append(None)
+            continue
+        best_cost = float("inf")
+        best_path = None
+        for gateway in gateways:
+            try:
+                cost, path = nx.single_source_dijkstra(
+                    graph, cell, gateway, weight="delay_s"
+                )
+            except nx.NetworkXNoPath:
+                continue
+            if cost < best_cost:
+                best_cost, best_path = cost, path
+        results.append(best_path)
+    return results
+
+
+def waterfill_rates(demand_bps: np.ndarray, entry_flow: np.ndarray,
+                    entry_edge: np.ndarray, capacity_bps: np.ndarray,
+                    max_iterations: Optional[int] = None,
+                    ) -> Tuple[np.ndarray, int, bool]:
+    """Demand-capped max-min-fair waterfilling over shared links.
+
+    Vectorized progressive filling: raise the water level to the most
+    constrained link's fair share; flows whose demand sits below that
+    level freeze at their demand (they never congest anything further),
+    otherwise the bottleneck link's flows freeze at the fair share and
+    its capacity leaves the pool.  All bookkeeping is bincount
+    scatter-adds over the flow→edge incidence arrays.
+
+    Args:
+        demand_bps: Offered load per flow (``>= 0``).
+        entry_flow: Flow index per incidence entry.
+        entry_edge: Edge index per incidence entry (parallel).
+        capacity_bps: Capacity per edge slot (may be ``inf``).
+        max_iterations: Safety bound (default ``flows + 8``).
+
+    Returns:
+        ``(rate_bps, iterations, converged)``.
+    """
+    demand = np.asarray(demand_bps, dtype=np.float64)
+    flows = demand.size
+    edges = np.asarray(capacity_bps, dtype=np.float64).size
+    rate = np.zeros(flows)
+    if flows == 0:
+        return rate, 0, True
+    if np.any(demand < 0.0):
+        raise ValueError("demands must be >= 0")
+    entry_flow = np.asarray(entry_flow, dtype=np.int64)
+    entry_edge = np.asarray(entry_edge, dtype=np.int64)
+    if entry_flow.shape != entry_edge.shape:
+        raise ValueError("incidence arrays must be parallel")
+    residual = np.asarray(capacity_bps, dtype=np.float64).copy()
+    if max_iterations is None:
+        max_iterations = flows + 8
+
+    frozen = demand <= 0.0
+    # Flows that touch no finite-capacity link are never constrained.
+    entries_per_flow = np.bincount(entry_flow, minlength=flows)
+    free = entries_per_flow == 0
+    rate[free & ~frozen] = demand[free & ~frozen]
+    frozen |= free
+
+    iterations = 0
+    converged = True
+    while not frozen.all():
+        iterations += 1
+        if iterations > max_iterations:
+            converged = False
+            break
+        active_entry = ~frozen[entry_flow]
+        counts = np.bincount(entry_edge[active_entry], minlength=edges)
+        loaded = counts > 0
+        if not loaded.any():
+            remaining = ~frozen
+            rate[remaining] = demand[remaining]
+            frozen[remaining] = True
+            break
+        share = np.full(edges, np.inf)
+        share[loaded] = (np.maximum(residual[loaded], 0.0)
+                         / counts[loaded])
+        level = share.min()
+        demand_limited = ~frozen & (demand <= level * (1.0 + 1e-12))
+        if demand_limited.any():
+            newly = demand_limited
+            rate[newly] = demand[newly]
+        else:
+            bottleneck = int(np.argmin(share))
+            on_edge = np.zeros(flows, dtype=bool)
+            on_edge[entry_flow[entry_edge == bottleneck]] = True
+            newly = ~frozen & on_edge
+            rate[newly] = level
+        frozen |= newly
+        newly_entry = newly[entry_flow]
+        if newly_entry.any():
+            residual -= np.bincount(
+                entry_edge[newly_entry],
+                weights=rate[entry_flow[newly_entry]], minlength=edges,
+            )
+    return rate, iterations, converged
+
+
+def run_fluid(graph, cell_ids: Sequence[str], demand_bps: Sequence[float],
+              backend: Optional[str] = None,
+              paths: Optional[Sequence[Optional[List[str]]]] = None,
+              ) -> FluidResult:
+    """Evaluate the fluid fixed point for one snapshot and demand vector.
+
+    Args:
+        graph: Snapshot graph containing the cell terminals and at least
+            one ``ground_station`` node; edges carry ``capacity_bps``
+            and ``delay_s``.
+        cell_ids: Aggregate-flow source nodes (cell terminals).
+        demand_bps: Offered load per cell, parallel to ``cell_ids``.
+        backend: Routing backend (``None`` = process default).
+        paths: Pre-computed routes (skips the Dijkstra stage); mainly
+            for benchmarks isolating the waterfilling stage.
+
+    Returns:
+        The :class:`FluidResult` fixed point.
+    """
+    cell_list = list(cell_ids)
+    demand = np.asarray(demand_bps, dtype=np.float64)
+    if demand.shape != (len(cell_list),):
+        raise ValueError(
+            f"{demand.shape} demands for {len(cell_list)} cells"
+        )
+    recorder = _obs.active()
+    with recorder.span("demand.fluid", cells=len(cell_list)):
+        if paths is None:
+            paths = map_cells_to_routes(graph, cell_list, backend=backend)
+        else:
+            paths = list(paths)
+        routed = np.asarray(
+            [path is not None and len(path) >= 2 for path in paths]
+        )
+
+        # Deterministic edge interning in first-use order.
+        edge_slot: Dict[Tuple[str, str], int] = {}
+        edge_keys: List[Tuple[str, str]] = []
+        entry_flow: List[int] = []
+        entry_edge: List[int] = []
+        for flow_index, path in enumerate(paths):
+            if path is None or len(path) < 2:
+                continue
+            for u, v in zip(path[:-1], path[1:]):
+                key = edge_key(u, v)
+                slot = edge_slot.get(key)
+                if slot is None:
+                    slot = len(edge_keys)
+                    edge_slot[key] = slot
+                    edge_keys.append(key)
+                entry_flow.append(flow_index)
+                entry_edge.append(slot)
+        entry_flow_arr = np.asarray(entry_flow, dtype=np.int64)
+        entry_edge_arr = np.asarray(entry_edge, dtype=np.int64)
+
+        capacity = np.asarray([
+            float(graph[u][v].get("capacity_bps", float("inf")))
+            for u, v in edge_keys
+        ])
+        delay = np.asarray([
+            float(graph[u][v].get("delay_s", 0.0)) for u, v in edge_keys
+        ])
+
+        effective = np.where(routed, demand, 0.0)
+        offered = np.bincount(
+            entry_edge_arr, weights=effective[entry_flow_arr],
+            minlength=len(edge_keys),
+        ) if entry_flow_arr.size else np.zeros(len(edge_keys))
+
+        rate, iterations, converged = waterfill_rates(
+            effective, entry_flow_arr, entry_edge_arr, capacity,
+        )
+        load = np.bincount(
+            entry_edge_arr, weights=rate[entry_flow_arr],
+            minlength=len(edge_keys),
+        ) if entry_flow_arr.size else np.zeros(len(edge_keys))
+        # Verify the fixed point: capacity respected everywhere.
+        finite = np.isfinite(capacity)
+        if np.any(load[finite] > capacity[finite] * (1.0 + 1e-9)):
+            converged = False
+
+    if recorder.enabled:
+        recorder.count("demand.fluid.cells", len(cell_list))
+        recorder.count("demand.fluid.iterations", iterations)
+        recorder.gauge("demand.fluid.served_fraction",
+                       float(rate.sum() / demand.sum())
+                       if demand.sum() > 0 else 1.0)
+    return FluidResult(
+        cell_ids=cell_list, demand_bps=demand, rate_bps=rate,
+        routed=routed, paths=list(paths), edge_keys=edge_keys,
+        edge_capacity_bps=capacity, edge_load_bps=load,
+        edge_offered_bps=offered, edge_delay_s=delay,
+        iterations=iterations, converged=converged,
+        entry_flow=entry_flow_arr, entry_edge=entry_edge_arr,
+    )

@@ -33,6 +33,7 @@ from repro.experiments.ablations import (
     ablation_isl_mix,
     ablation_mac,
 )
+from repro.experiments.demand import demand_sweep
 
 __all__ = [
     "ConstellationReport",
@@ -50,6 +51,7 @@ __all__ = [
     "coverage_mask_sensitivity",
     "latency_site_sensitivity",
     "availability_sweep",
+    "demand_sweep",
     "resilience_sweep",
     "dynamic_resilience_sweep",
     "run_fault_scenario",

@@ -124,10 +124,16 @@ class LoadAdaptiveRouter:
             delay (1.0 = a fully-loaded edge is much worse than any detour).
         assumed_flow_rate_bps: Rate assumed for flows whose fair share is
             not yet known (fresh arrivals).
+        background_load_bps: Standing per-edge load (canonical sorted
+            keys) added under the committed flows — the fluid demand
+            plane's allocation (``CongestionState.background_load_bps``),
+            so per-flow admissions route around links aggregate demand
+            already filled.
     """
 
     congestion_weight: float = 1.0
     assumed_flow_rate_bps: float = 10e6
+    background_load_bps: Optional[Dict[Tuple[str, str], float]] = None
     backend: Optional[str] = None
     #: Diagnostic: how many admissions diverted from the nearest gateway.
     diversions: int = field(default=0)
@@ -138,6 +144,9 @@ class LoadAdaptiveRouter:
         if flow.user_id not in graph or not gateways:
             return None
         load = _committed_load(active_flows, self.assumed_flow_rate_bps)
+        if self.background_load_bps:
+            for edge, rate in self.background_load_bps.items():
+                load[edge] = load.get(edge, 0.0) + rate
 
         def weight(u, v, data):
             delay = float(data.get("delay_s", 0.0))

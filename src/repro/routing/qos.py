@@ -17,7 +17,7 @@ prices queueing and visitor tariffs alongside propagation delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -96,14 +96,39 @@ class QosRouter:
             CSR backend folds the admission filter into the weight
             function (inadmissible edges never enter the arrays) instead
             of routing over a ``subgraph_view``.
+        link_utilization: Standing per-link utilization from the fluid
+            demand plane (canonical sorted ``(u, v)`` keys,
+            ``load / capacity``).  When set, each edge's cost gains an
+            M/M/1 queueing-inflation term ``delay * u / (1 - u)``
+            (utilization clamped below 1), so congested links price
+            higher without mutating the snapshot.
     """
 
+    #: Utilization clamp for the congestion term (saturated links stay
+    #: finite but effectively unroutable).
+    MAX_UTILIZATION = 0.99
+
     def __init__(self, cost_model: Optional[EdgeCostModel] = None,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 link_utilization: Optional[Dict[Tuple[str, str],
+                                                 float]] = None):
         self.cost_model = cost_model or EdgeCostModel(
             queue_weight=1.0, tariff_weight=0.002
         )
         self.backend = backend
+        self.link_utilization = link_utilization
+
+    def _congestion_cost(self, u: str, v: str, data: dict) -> float:
+        """The M/M/1 queueing-inflation cost of one edge, seconds."""
+        if not self.link_utilization:
+            return 0.0
+        key = (u, v) if u <= v else (v, u)
+        utilization = min(self.link_utilization.get(key, 0.0),
+                          self.MAX_UTILIZATION)
+        if utilization <= 0.0:
+            return 0.0
+        delay = float(data.get("delay_s", 0.0))
+        return delay * utilization / (1.0 - utilization)
 
     def _admissible_subgraph(self, graph: nx.Graph,
                              requirement: QosRequirement) -> nx.Graph:
@@ -116,10 +141,10 @@ class QosRouter:
         """Weight callable that drops edges the requirement rejects."""
         model = self.cost_model
 
-        def weight(_u, _v, data):
+        def weight(u, v, data):
             if not requirement.admits_edge(data):
                 return None
-            return model.edge_cost(data)
+            return model.edge_cost(data) + self._congestion_cost(u, v, data)
 
         return weight
 
@@ -142,10 +167,16 @@ class QosRouter:
             )
         else:
             admissible = self._admissible_subgraph(graph, requirement)
+            base_weight = self.cost_model.weight_fn()
+            if self.link_utilization:
+                def weight(u, v, data):
+                    return (base_weight(u, v, data)
+                            + self._congestion_cost(u, v, data))
+            else:
+                weight = base_weight
             try:
                 path = nx.dijkstra_path(
-                    admissible, source, target,
-                    weight=self.cost_model.weight_fn(),
+                    admissible, source, target, weight=weight,
                 )
             except nx.NetworkXNoPath:
                 path = None

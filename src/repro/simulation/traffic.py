@@ -70,6 +70,11 @@ class UserPopulation:
             raise ValueError(
                 f"{len(self.weights)} weights for {len(self.users)} users"
             )
+        for weight in self.weights:
+            if weight < 0.0:
+                raise ValueError(
+                    f"demand weights must be >= 0, got {weight}"
+                )
         if not self.weights:
             self.weights = [1.0] * len(self.users)
 
@@ -77,10 +82,19 @@ class UserPopulation:
         return len(self.users)
 
     def normalized_weights(self) -> np.ndarray:
-        total = sum(self.weights)
+        weights = np.array(self.weights, dtype=np.float64)
+        # Re-check sign here: ``weights`` is a mutable list a caller can
+        # rewrite after construction, and a negative entry could slip
+        # through the ``total <= 0`` guard and become a negative
+        # "probability".
+        if weights.size and weights.min() < 0.0:
+            raise ValueError(
+                f"demand weights must be >= 0, got {weights.min()}"
+            )
+        total = weights.sum()
         if total <= 0.0:
             raise ValueError("population weights must sum to > 0")
-        return np.array(self.weights) / total
+        return weights / total
 
 
 def uniform_land_users(count: int, rng: np.random.Generator,

@@ -1,0 +1,182 @@
+"""Tests for the vectorized fluid-flow engine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.demand.fluid import (
+    map_cells_to_routes,
+    run_fluid,
+    waterfill_rates,
+    weighted_percentile,
+)
+
+
+def star_graph():
+    """Two cells -> one satellite -> one gateway, plus a spur cell."""
+    g = nx.Graph()
+    g.add_node("cell-00000", kind="user", owner="op-a")
+    g.add_node("cell-00001", kind="user", owner="op-b")
+    g.add_node("cell-00002", kind="user", owner="op-a")  # isolated
+    g.add_node("sat-0", kind="satellite", owner="fleet")
+    g.add_node("gw", kind="ground_station", owner="gs-op")
+    g.add_edge("cell-00000", "sat-0", delay_s=0.004, capacity_bps=100e6)
+    g.add_edge("cell-00001", "sat-0", delay_s=0.004, capacity_bps=100e6)
+    g.add_edge("sat-0", "gw", delay_s=0.003, capacity_bps=50e6)
+    return g
+
+
+class TestWaterfill:
+    def test_classic_three_flow_example(self):
+        # flow 0 on edges {0,1}, flow 1 on {0}, flow 2 on {1};
+        # caps 10 and 8 -> bottleneck edge 1 at 4, flow 1 tops up to 6.
+        entry_flow = np.array([0, 0, 1, 2])
+        entry_edge = np.array([0, 1, 0, 1])
+        rates, iterations, converged = waterfill_rates(
+            np.array([100.0, 100.0, 100.0]), entry_flow, entry_edge,
+            np.array([10.0, 8.0]))
+        assert converged
+        assert rates == pytest.approx([4.0, 6.0, 4.0])
+
+    def test_demand_capped_flows_release_capacity(self):
+        entry_flow = np.array([0, 0, 1, 2])
+        entry_edge = np.array([0, 1, 0, 1])
+        rates, _, converged = waterfill_rates(
+            np.array([2.0, 100.0, 100.0]), entry_flow, entry_edge,
+            np.array([10.0, 8.0]))
+        assert converged
+        assert rates == pytest.approx([2.0, 8.0, 6.0])
+
+    def test_zero_capacity_edge_starves(self):
+        rates, _, converged = waterfill_rates(
+            np.array([5.0, 5.0]), np.array([0, 1]), np.array([0, 0]),
+            np.array([0.0]))
+        assert converged
+        assert rates == pytest.approx([0.0, 0.0])
+
+    def test_flows_off_constrained_edges_get_demand(self):
+        rates, _, converged = waterfill_rates(
+            np.array([7.0]), np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64), np.array([]))
+        assert converged
+        assert rates == pytest.approx([7.0])
+
+    def test_empty(self):
+        rates, iterations, converged = waterfill_rates(
+            np.array([]), np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64), np.array([1.0]))
+        assert converged and iterations == 0 and rates.size == 0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            waterfill_rates(np.array([-1.0]), np.array([0]),
+                            np.array([0]), np.array([1.0]))
+
+    def test_capacity_never_exceeded_random(self):
+        rng = np.random.default_rng(8)
+        flows, edges = 60, 15
+        lengths = rng.integers(1, 5, size=flows)
+        entry_flow, entry_edge = [], []
+        for f in range(flows):
+            for e in rng.choice(edges, size=lengths[f], replace=False):
+                entry_flow.append(f)
+                entry_edge.append(int(e))
+        demand = rng.uniform(0.0, 50.0, size=flows)
+        capacity = rng.uniform(1.0, 100.0, size=edges)
+        rates, _, converged = waterfill_rates(
+            demand, np.array(entry_flow), np.array(entry_edge), capacity)
+        assert converged
+        assert np.all(rates <= demand * (1 + 1e-9))
+        loads = np.bincount(np.array(entry_edge),
+                            weights=rates[np.array(entry_flow)],
+                            minlength=edges)
+        assert np.all(loads <= capacity * (1 + 1e-9))
+
+
+class TestRouteMapping:
+    def test_routes_reach_gateway(self):
+        paths = map_cells_to_routes(star_graph(),
+                                    ["cell-00000", "cell-00001"])
+        for path in paths:
+            assert path is not None
+            assert path[-1] == "gw"
+
+    def test_unreachable_cell_gets_none(self):
+        paths = map_cells_to_routes(star_graph(), ["cell-00002"])
+        assert paths == [None]
+
+    def test_unknown_cell_gets_none(self):
+        paths = map_cells_to_routes(star_graph(), ["cell-99999"])
+        assert paths == [None]
+
+    def test_backends_agree(self):
+        cells = ["cell-00000", "cell-00001", "cell-00002"]
+        csr = map_cells_to_routes(star_graph(), cells, backend="csr")
+        ref = map_cells_to_routes(star_graph(), cells, backend="networkx")
+        assert csr == ref
+
+
+class TestRunFluid:
+    def test_shared_gateway_link_splits_fairly(self):
+        result = run_fluid(star_graph(), ["cell-00000", "cell-00001"],
+                           [100e6, 100e6])
+        assert result.converged
+        assert result.rate_bps == pytest.approx([25e6, 25e6])
+        util = result.utilization[("gw", "sat-0")]
+        assert util == pytest.approx(1.0)
+
+    def test_unrouted_cell_rate_zero(self):
+        result = run_fluid(star_graph(),
+                           ["cell-00000", "cell-00002"], [10e6, 10e6])
+        assert result.converged
+        assert bool(result.routed[0]) and not bool(result.routed[1])
+        assert result.rate_bps[1] == 0.0
+        assert result.served_fraction == pytest.approx(0.5)
+
+    def test_light_load_fully_served(self):
+        result = run_fluid(star_graph(), ["cell-00000", "cell-00001"],
+                           [1e6, 2e6])
+        assert result.converged
+        assert result.served_fraction == pytest.approx(1.0)
+        assert result.rate_bps == pytest.approx([1e6, 2e6])
+
+    def test_delay_inflation_grows_under_load(self):
+        light = run_fluid(star_graph(), ["cell-00000"], [1e6])
+        heavy = run_fluid(star_graph(), ["cell-00000"], [200e6])
+        assert float(light.delay_inflation()[0]) < \
+            float(heavy.delay_inflation()[0])
+        assert float(light.delay_inflation()[0]) >= 1.0
+
+    def test_demand_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            run_fluid(star_graph(), ["cell-00000"], [1e6, 2e6])
+
+    def test_deterministic(self):
+        a = run_fluid(star_graph(), ["cell-00000", "cell-00001"],
+                      [60e6, 70e6])
+        b = run_fluid(star_graph(), ["cell-00000", "cell-00001"],
+                      [60e6, 70e6])
+        assert np.array_equal(a.rate_bps, b.rate_bps)
+        assert a.edge_keys == b.edge_keys
+        assert a.utilization == b.utilization
+
+
+class TestWeightedPercentile:
+    def test_simple_median(self):
+        values = np.array([1.0, 2.0, 3.0])
+        weights = np.array([1.0, 1.0, 1.0])
+        assert weighted_percentile(values, weights, 0.5) == 2.0
+
+    def test_weights_shift_percentile(self):
+        values = np.array([1.0, 10.0])
+        weights = np.array([99.0, 1.0])
+        assert weighted_percentile(values, weights, 0.95) == 1.0
+        assert weighted_percentile(values, weights, 0.999) == 10.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(weighted_percentile(np.array([]), np.array([]),
+                                            0.5))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            weighted_percentile(np.array([1.0]), np.array([1.0]), 1.5)

@@ -57,6 +57,43 @@ class TestMaxMinFair:
     def test_empty_flow_set(self):
         max_min_fair_rates([], {("a", "b"): 1e6})  # must not raise
 
+    def test_single_shared_bottleneck_splits_evenly(self):
+        flows = [make_flow(f"f{i}", ["a", "b"]) for i in range(4)]
+        max_min_fair_rates(flows, {("a", "b"): 8e6})
+        for flow in flows:
+            assert flow.rate_bps == pytest.approx(2e6)
+
+    def test_zero_capacity_link_starves_its_flows(self):
+        dead = make_flow("dead", ["a", "b"])
+        alive = make_flow("alive", ["b", "c"])
+        max_min_fair_rates([dead, alive],
+                           {("a", "b"): 0.0, ("b", "c"): 5e6})
+        assert dead.rate_bps == pytest.approx(0.0)
+        assert alive.rate_bps == pytest.approx(5e6)
+
+    def test_fairness_invariant_no_flow_below_fair_share(self):
+        # On every edge, a flow's rate may fall below the edge's equal
+        # split only because it is bottlenecked elsewhere — never below
+        # the smallest equal split along its own path.
+        flows = [
+            make_flow("f1", ["a", "b"]),
+            make_flow("f2", ["a", "b", "c"]),
+            make_flow("f3", ["b", "c", "d"]),
+            make_flow("f4", ["a", "b", "c", "d"]),
+        ]
+        capacities = {("a", "b"): 9e6, ("b", "c"): 6e6, ("c", "d"): 4e6}
+        max_min_fair_rates(flows, capacities)
+        shares_per_edge = {
+            edge: sum(1 for f in flows if edge in f.edges)
+            for edge in capacities
+        }
+        for flow in flows:
+            fair_share = min(
+                capacities[edge] / shares_per_edge[edge]
+                for edge in flow.edges
+            )
+            assert flow.rate_bps >= fair_share * (1 - 1e-9)
+
 
 @pytest.fixture
 def simple_graph():

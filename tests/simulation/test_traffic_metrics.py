@@ -56,6 +56,63 @@ class TestPopulations:
         with pytest.raises(ValueError, match="weights"):
             UserPopulation(users=pop.users, weights=[1.0])
 
+    def test_negative_weight_rejected_at_construction(self, rng):
+        # Regression: [-1.0, 3.0] used to pass the `total <= 0` check
+        # and yield a negative "probability".
+        pop = uniform_land_users(2, rng, ["op"])
+        with pytest.raises(ValueError, match=">= 0"):
+            UserPopulation(users=pop.users, weights=[-1.0, 3.0])
+
+    def test_negative_weight_rejected_after_mutation(self, rng):
+        pop = uniform_land_users(2, rng, ["op"])
+        pop.weights = [-1.0, 3.0]
+        with pytest.raises(ValueError, match=">= 0"):
+            pop.normalized_weights()
+
+    def test_all_zero_weights_rejected(self, rng):
+        pop = uniform_land_users(2, rng, ["op"])
+        pop.weights = [0.0, 0.0]
+        with pytest.raises(ValueError, match="sum"):
+            pop.normalized_weights()
+
+    def test_underserved_longitude_stays_wrapped(self):
+        # A huge spread forces jitter across the +-180 seam; every
+        # longitude must come back wrapped into [-180, 180).
+        rng = np.random.default_rng(3)
+        pop = underserved_region_users(40, rng, ["op"], spread_deg=200.0)
+        for user in pop.users:
+            assert -180.0 <= user.location.longitude_deg < 180.0
+
+    def test_underserved_pacific_straddles_antimeridian(self):
+        # pacific-islands sits at lon 178; with moderate spread some
+        # users land on each side of the seam.
+        rng = np.random.default_rng(5)
+        pop = underserved_region_users(60, rng, ["op"], spread_deg=6.0)
+        pacific = [u.location.longitude_deg for u in pop.users
+                   if "pacific-islands" in u.user_id]
+        assert any(lon > 170.0 for lon in pacific)
+        assert any(lon < -170.0 for lon in pacific)
+
+    def test_underserved_latitude_clipped_near_poles(self):
+        rng = np.random.default_rng(9)
+        pop = underserved_region_users(50, rng, ["op"], spread_deg=60.0)
+        for user in pop.users:
+            assert -89.0 <= user.location.latitude_deg <= 89.0
+        arctic = [u.location.latitude_deg for u in pop.users
+                  if "arctic-canada" in u.user_id]
+        assert max(arctic) == pytest.approx(89.0)
+
+    def test_underserved_deterministic_per_seed(self):
+        def locations(seed):
+            pop = underserved_region_users(
+                5, np.random.default_rng(seed), ["op-a", "op-b"])
+            return [(u.user_id, u.location.latitude_deg,
+                     u.location.longitude_deg, u.home_provider)
+                    for u in pop.users]
+
+        assert locations(42) == locations(42)
+        assert locations(42) != locations(43)
+
 
 class TestFlowGenerator:
     def _generator(self, rng, rate=5.0, **kwargs):

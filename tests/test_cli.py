@@ -59,6 +59,23 @@ class TestLatency:
         assert "ms" in out
 
 
+class TestDemand:
+    def test_sweep_quick(self, capsys):
+        assert main(["demand", "sweep", "--satellites", "24",
+                     "--hours", "20", "--users", "20000",
+                     "--bands", "8", "--equator-columns", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "revenue_usd" in out
+        rows = [line for line in out.strip().splitlines()
+                if line.split() and line.split()[0] == "24"]
+        assert len(rows) == 1
+        assert "True" in rows[0]  # converged
+
+    def test_sweep_rejects_bad_hour(self, capsys):
+        assert main(["demand", "sweep", "--satellites", "24",
+                     "--hours", "25"]) != 0
+
+
 class TestObservability:
     def test_trace_covers_engine_routing_and_experiment(self, capsys,
                                                         tmp_path):
