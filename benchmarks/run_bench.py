@@ -55,6 +55,7 @@ from repro.experiments.figure2 import (
     figure_2c_coverage,
 )
 from repro.experiments.demand import demand_sweep
+from repro.experiments.disrupted import disrupted_sweep
 from repro.experiments.reliability import reliability_sweep
 from repro.experiments.resilience_dynamic import dynamic_resilience_sweep
 from repro.ground.station import default_station_network
@@ -68,6 +69,7 @@ from repro.orbits.visibility import (
 from repro.orbits.walker import iridium_like, random_constellation
 from repro.routing.csr import default_backend, set_default_backend
 from repro.routing.proactive import ProactiveRouter
+from repro.routing.timeexpanded import TimeExpandedRouter
 
 HERE = Path(__file__).resolve().parent
 DEFAULT_OUTPUT = HERE / "BENCH_parallel.json"
@@ -454,6 +456,47 @@ def bench_demand_fluid() -> dict:
             "waterfill_iterations": int(result.iterations)}
 
 
+def bench_dtn() -> dict:
+    """Time-expanded earliest-arrival planning: networkx vs CSR.
+
+    The DTN scheduler's hot path is one contact plan answering many
+    earliest-arrival queries (every buffered bundle, at every epoch,
+    against every candidate gateway).  The CSR backend builds the
+    time-expanded adjacency once and memoizes one single-source run per
+    distinct start node, so the ratio grows with the query count; the
+    networkx reference re-runs Dijkstra per query.
+    """
+    stations = default_station_network()
+    fleet = build_fleet(iridium_like(), "bench", SizeClass.MEDIUM)
+    network = OpenSpaceNetwork(fleet, stations)
+    snapshots = [network.snapshot(t) for t in
+                 (0.0, 600.0, 1200.0, 1800.0, 2400.0, 3000.0)]
+    sources = sorted(s.satellite_id for s in network.satellites)[:12]
+    targets = sorted(st.station_id for st in stations)[:6]
+
+    def plan(backend):
+        router = TimeExpandedRouter(snapshots, backend=backend)
+        return [router.earliest_arrival(source, target, 0.0)
+                for source in sources for target in targets]
+
+    def arrivals(routes):
+        return [None if r is None else r.arrival_s for r in routes]
+
+    nx_routes = arrivals(plan("networkx"))
+    csr_routes = arrivals(plan("csr"))
+    assert len(nx_routes) == len(csr_routes)
+    assert all(
+        (a is None) == (b is None)
+        and (a is None or math.isclose(a, b, rel_tol=1e-9))
+        for a, b in zip(nx_routes, csr_routes)
+    ), "CSR earliest-arrival plans diverged from networkx"
+    nx_s = _timeit(lambda: plan("networkx"), repeat=2)
+    csr_s = _timeit(lambda: plan("csr"), repeat=2)
+    return {"scalar_s": nx_s, "vectorized_s": csr_s,
+            "speedup": nx_s / csr_s,
+            "queries": len(nx_routes)}
+
+
 def bench_determinism(jobs: int) -> dict:
     """Digest each sweep at jobs=1 and jobs=N; they must agree."""
     cases = {}
@@ -473,6 +516,15 @@ def bench_determinism(jobs: int) -> dict:
     cases["demand"] = (
         _digest(demand_sweep(jobs=1, **demand_kwargs)),
         _digest(demand_sweep(jobs=jobs, **demand_kwargs)),
+    )
+    dtn_kwargs = dict(radii_km=(0.0, 1500.0), durations_s=(900.0,),
+                      buffer_kb=(64.0,), horizon_s=3600.0, step_s=600.0,
+                      loss=0.05, sensors=2, satellites=24,
+                      bundle_interval_s=600.0, bundle_bytes=1024,
+                      ttl_s=3600.0, seed=17)
+    cases["dtn"] = (
+        _digest(disrupted_sweep(jobs=1, **dtn_kwargs)),
+        _digest(disrupted_sweep(jobs=jobs, **dtn_kwargs)),
     )
     return {
         name: {"serial": serial, "parallel": parallel,
@@ -523,6 +575,7 @@ BENCH_CASES = {
     "snapshot_cache": bench_snapshot_cache,
     "obs_overhead": bench_obs_overhead,
     "demand_fluid": bench_demand_fluid,
+    "dtn": bench_dtn,
 }
 
 

@@ -19,6 +19,10 @@ reproduction without writing any code:
 * ``demand sweep`` — the million-user fluid traffic plane: diurnal
   congestion (utilization, delay inflation) and settlement revenue vs
   constellation size, byte-identical at any ``--jobs`` count;
+* ``dtn sweep`` — disrupted communications: IoT telemetry evacuated
+  from a regional gateway blackout through the store-and-forward
+  bundle plane (delivery ratio/delay, custody retransmissions, buffer
+  drops vs blackout radius x duration x buffer budget);
 * ``obs summarize`` — render a previously captured telemetry file;
 * ``obs report`` — self-contained HTML timeline/health report from a
   captured event stream.
@@ -433,6 +437,43 @@ def _cmd_demand_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dtn_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.disrupted import disrupted_sweep
+
+    try:
+        rows = disrupted_sweep(
+            radii_km=tuple(args.radius),
+            durations_s=tuple(args.duration),
+            buffer_kb=tuple(args.buffer_kb),
+            horizon_s=args.horizon, step_s=args.step, loss=args.loss,
+            sensors=args.sensors, satellites=args.satellites,
+            bundle_interval_s=args.interval,
+            bundle_bytes=args.bundle_bytes, ttl_s=args.ttl,
+            seed=args.seed, jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"bad dtn sweep options: {exc}", file=sys.stderr)
+        return 1
+    print("radius_km blackout_s buf_kb down created delivered ratio "
+          "mean_delay_s max_delay_s retx drops expired replans backlog")
+    for row in rows:
+        ratio = row["delivery_ratio"]
+        ratio_text = f"{ratio:5.3f}" if ratio == ratio else "   --"
+        mean_delay = row["mean_delay_s"]
+        mean_text = (f"{mean_delay:12.1f}" if mean_delay == mean_delay
+                     else "          --")
+        max_delay = row["max_delay_s"]
+        max_text = (f"{max_delay:11.1f}" if max_delay == max_delay
+                    else "         --")
+        print(f"{row['radius_km']:>9.0f} {row['blackout_s']:>9.0f} "
+              f"{row['buffer_kb']:>6.1f} {row['stations_down']:>4} "
+              f"{row['created']:>7} {row['delivered']:>9} {ratio_text} "
+              f"{mean_text} {max_text} {row['custody_retx']:>4} "
+              f"{row['buffer_drops']:>5} {row['ttl_expired']:>7} "
+              f"{row['replans']:>7} {row['backlog']:>7}")
+    return 0
+
+
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs.export import summarize_file
 
@@ -667,6 +708,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="settlement interval per point, s")
     pds.add_argument("--seed", type=int, default=7)
     pds.set_defaults(func=_cmd_demand_sweep)
+
+    pdtn = sub.add_parser("dtn",
+                          help="disruption-tolerant store-and-forward "
+                               "bundle plane")
+    dtn_sub = pdtn.add_subparsers(dest="dtn_command", required=True)
+    pdt = dtn_sub.add_parser(
+        "sweep", parents=[obs_flags, jobs_flags],
+        help="blackout evacuation: delivery ratio & delay vs radius x "
+             "duration x buffer budget")
+    pdt.add_argument("--radius", type=float, nargs="+",
+                     default=[0.0, 1500.0, 3500.0],
+                     help="blackout radii around the region center, km "
+                          "(0 = no-blackout control)")
+    pdt.add_argument("--duration", type=float, nargs="+",
+                     default=[3600.0],
+                     help="blackout durations, s")
+    pdt.add_argument("--buffer-kb", type=float, nargs="+",
+                     default=[8.0, 64.0],
+                     help="per-node custody budgets, KiB")
+    pdt.add_argument("--horizon", type=float, default=7200.0)
+    pdt.add_argument("--step", type=float, default=600.0,
+                     help="scheduler epoch length, s")
+    pdt.add_argument("--loss", type=float, default=0.05,
+                     help="per-hop custody-frame loss rate")
+    pdt.add_argument("--sensors", type=int, default=6,
+                     help="IoT sensors in the blackout region")
+    pdt.add_argument("--satellites", type=int, default=24,
+                     help="Walker-Delta fleet size (6 planes)")
+    pdt.add_argument("--interval", type=float, default=900.0,
+                     help="telemetry period per sensor, s")
+    pdt.add_argument("--bundle-bytes", type=int, default=4096,
+                     help="bundle payload size, bytes")
+    pdt.add_argument("--ttl", type=float, default=7200.0,
+                     help="bundle lifetime, s")
+    pdt.add_argument("--seed", type=int, default=17)
+    pdt.set_defaults(func=_cmd_dtn_sweep)
 
     pobs = sub.add_parser("obs", help="inspect captured telemetry")
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)

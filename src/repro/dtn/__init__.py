@@ -1,0 +1,48 @@
+"""repro.dtn — the disruption-tolerant store-and-forward data plane.
+
+The paper's democratization road map leans on satellites carrying
+traffic where terrestrial backhaul is absent or destroyed; ROADMAP item
+4(b) names the concrete workload — IoT telemetry evacuated from a
+blacked-out region by store-and-forward.  This package composes three
+measurement subsystems into a plane that actually rides out disruption:
+
+* :mod:`repro.dtn.bundle` — the :class:`Bundle` unit (size, QoS
+  priority, TTL, creation epoch) and bounded per-node
+  :class:`BundleBuffer` custody stores with a priority/expiry drop
+  policy (graceful degradation, never unbounded memory);
+* :mod:`repro.dtn.custody` — :class:`CustodyTransfer`, hop-by-hop
+  acknowledged custody over
+  :class:`~repro.reliability.channel.LossyControlChannel` with bounded
+  retries, exponential backoff, and re-custody on timeout;
+* :mod:`repro.dtn.scheduler` — :class:`DtnScheduler`, the epoch-stepped
+  contact-plan scheduler on
+  :class:`~repro.routing.timeexpanded.TimeExpandedRouter` that replans
+  whenever :class:`~repro.faults.inject.FaultInjector` moves the
+  channel's fault epoch.
+
+Everything is a pure function of the seed: see
+:mod:`repro.experiments.disrupted` for the regional-blackout sweep and
+the ``repro dtn`` CLI subcommands for the command-line surface.
+"""
+
+from repro.dtn.bundle import (
+    PRIORITY_BULK,
+    PRIORITY_CRITICAL,
+    PRIORITY_NORMAL,
+    Bundle,
+    BundleBuffer,
+)
+from repro.dtn.custody import CustodyResult, CustodyTransfer
+from repro.dtn.scheduler import DtnResult, DtnScheduler
+
+__all__ = [
+    "PRIORITY_BULK",
+    "PRIORITY_NORMAL",
+    "PRIORITY_CRITICAL",
+    "Bundle",
+    "BundleBuffer",
+    "CustodyResult",
+    "CustodyTransfer",
+    "DtnResult",
+    "DtnScheduler",
+]

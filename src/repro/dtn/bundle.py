@@ -1,0 +1,229 @@
+"""Bundle model and bounded per-node custody buffers.
+
+A *bundle* is the DTN unit of transfer: an application payload plus the
+metadata the store-and-forward plane needs to hold it responsibly —
+size (buffers are budgeted in bytes, not counts), QoS priority (what to
+sacrifice first under overload), TTL (when holding it stops being
+useful), and the creation epoch the delivery delay is measured from.
+
+A :class:`BundleBuffer` is one node's custody store.  Its capacity is
+finite and enforced at admission: when an incoming bundle does not fit,
+the buffer evicts strictly-less-valuable residents (lowest priority
+first, youngest first among equals) to make room — and when even that
+cannot free enough space, the *incoming* bundle is the victim and the
+store is left untouched.  Overload therefore degrades by shedding the
+cheapest traffic, never by growing without bound and never by raising.
+Every drop and TTL expiry is emitted as a ``bundle.drop`` /
+``bundle.expire`` flight-recorder event and counted under ``dtn.*``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs as _obs
+from repro.obs.events import BUNDLE_DROP, BUNDLE_EXPIRE
+
+#: QoS priorities, higher = more valuable.  Matches the paper's IoT
+#: evacuation framing: bulk sensor history < live telemetry < alerts.
+PRIORITY_BULK = 0
+PRIORITY_NORMAL = 1
+PRIORITY_CRITICAL = 2
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """One store-and-forward data unit.
+
+    Attributes:
+        bundle_id: Unique id (drives deterministic tie-breaking).
+        source: Originating entity (a sensor/user node id).
+        destination: Required destination node id, or ``""`` for
+            "any gateway the scheduler serves".
+        size_bytes: Payload size; buffers budget in bytes.
+        priority: QoS class (see the module constants); higher survives
+            overload longer.
+        ttl_s: Useful lifetime from creation; ``inf`` never expires.
+        created_s: Creation time, simulated seconds.
+    """
+
+    bundle_id: str
+    source: str
+    destination: str
+    size_bytes: int
+    priority: int = PRIORITY_NORMAL
+    ttl_s: float = float("inf")
+    created_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.bundle_id:
+            raise ValueError("bundle_id must be non-empty")
+        if self.size_bytes <= 0:
+            raise ValueError(
+                f"size_bytes must be positive, got {self.size_bytes}"
+            )
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if not self.ttl_s > 0.0 or math.isnan(self.ttl_s):
+            raise ValueError(f"ttl_s must be positive, got {self.ttl_s}")
+
+    @property
+    def expires_s(self) -> float:
+        """Absolute expiry instant."""
+        return self.created_s + self.ttl_s
+
+    def expired(self, now_s: float) -> bool:
+        """Whether the bundle's TTL has run out at ``now_s``."""
+        return now_s >= self.expires_s
+
+
+def _evicts_before(a: Bundle, b: Bundle) -> bool:
+    """Strict "a is sacrificed before b" order of the drop policy.
+
+    Lowest priority goes first; among equals the youngest goes first
+    (oldest custody is closest to delivery and has consumed the most
+    network effort); bundle-id descending breaks exact ties so the
+    policy is a total order and runs are replayable.
+    """
+    key_a = (a.priority, -a.created_s)
+    key_b = (b.priority, -b.created_s)
+    if key_a != key_b:
+        return key_a < key_b
+    return a.bundle_id > b.bundle_id
+
+
+class BundleBuffer:
+    """One node's finite custody store.
+
+    Args:
+        node_id: Owning node (event subject prefix).
+        capacity_bytes: Byte budget; ``inf`` disables eviction (but TTL
+            expiry still applies).
+    """
+
+    def __init__(self, node_id: str, capacity_bytes: float = float("inf")):
+        if capacity_bytes <= 0.0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self._bundles: Dict[str, Bundle] = {}
+        self.used_bytes = 0
+        self.drop_count = 0
+        self.expire_count = 0
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def __contains__(self, bundle_id: str) -> bool:
+        return bundle_id in self._bundles
+
+    def bundles(self) -> List[Bundle]:
+        """Held bundles in forwarding order: most valuable first."""
+        return sorted(
+            self._bundles.values(),
+            key=lambda b: (-b.priority, b.created_s, b.bundle_id),
+        )
+
+    def remove(self, bundle_id: str) -> Optional[Bundle]:
+        """Release custody of one bundle (forwarded or delivered)."""
+        bundle = self._bundles.pop(bundle_id, None)
+        if bundle is not None:
+            self.used_bytes -= bundle.size_bytes
+        return bundle
+
+    def purge_expired(self, now_s: float) -> List[Bundle]:
+        """Drop every held bundle whose TTL ran out; returns them."""
+        expired = [
+            bundle for bundle in self._bundles.values()
+            if bundle.expired(now_s)
+        ]
+        for bundle in expired:
+            del self._bundles[bundle.bundle_id]
+            self.used_bytes -= bundle.size_bytes
+            self._record_expire(bundle, now_s)
+        return expired
+
+    def offer(self, bundle: Bundle,
+              now_s: float = 0.0) -> Tuple[bool, List[Bundle]]:
+        """Try to take custody of one bundle.
+
+        Expired residents are purged first; an already-expired offer is
+        refused as an expiry.  When the bundle does not fit, residents
+        that the drop policy values less are evicted least-valuable
+        first — but only if evicting *all* of them would actually make
+        room; otherwise the incoming bundle alone is refused and the
+        store is untouched (no pointless sacrifice).
+
+        Args:
+            bundle: The bundle offered for custody.
+            now_s: Current simulated time (drives expiry).
+
+        Returns:
+            ``(accepted, dropped)`` where ``dropped`` lists the bundles
+            sacrificed by this offer (evicted residents, or the offer
+            itself on refusal; expiry purges are not included).
+        """
+        if bundle.bundle_id in self._bundles:
+            raise ValueError(
+                f"buffer {self.node_id} already holds {bundle.bundle_id}"
+            )
+        self.purge_expired(now_s)
+        if bundle.expired(now_s):
+            self._record_expire(bundle, now_s)
+            return False, []
+        needed = self.used_bytes + bundle.size_bytes
+        if needed <= self.capacity_bytes:
+            self._bundles[bundle.bundle_id] = bundle
+            self.used_bytes += bundle.size_bytes
+            return True, []
+        evictable = sorted(
+            (b for b in self._bundles.values()
+             if _evicts_before(b, bundle)),
+            key=lambda b: (b.priority, -b.created_s),
+        )
+        freeable = sum(b.size_bytes for b in evictable)
+        if needed - freeable > self.capacity_bytes:
+            self._record_drop(bundle, now_s, reason="capacity")
+            return False, [bundle]
+        dropped: List[Bundle] = []
+        # Ties inside the sort key fall back to the policy's id order.
+        evictable.sort(key=lambda b: b.bundle_id, reverse=True)
+        evictable.sort(key=lambda b: (b.priority, -b.created_s))
+        for victim in evictable:
+            if needed <= self.capacity_bytes:
+                break
+            del self._bundles[victim.bundle_id]
+            self.used_bytes -= victim.size_bytes
+            needed -= victim.size_bytes
+            self._record_drop(victim, now_s, reason="evicted")
+            dropped.append(victim)
+        self._bundles[bundle.bundle_id] = bundle
+        self.used_bytes += bundle.size_bytes
+        return True, dropped
+
+    def _record_drop(self, bundle: Bundle, now_s: float,
+                     reason: str) -> None:
+        self.drop_count += 1
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("dtn.buffer.dropped")
+            recorder.event(
+                BUNDLE_DROP, now_s, subject=bundle.bundle_id,
+                node=self.node_id, priority=bundle.priority,
+                size=bundle.size_bytes, reason=reason,
+            )
+
+    def _record_expire(self, bundle: Bundle, now_s: float) -> None:
+        self.expire_count += 1
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("dtn.buffer.expired")
+            recorder.event(
+                BUNDLE_EXPIRE, now_s, subject=bundle.bundle_id,
+                node=self.node_id, priority=bundle.priority,
+                size=bundle.size_bytes,
+            )

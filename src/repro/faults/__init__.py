@@ -27,13 +27,16 @@ from repro.faults.model import (
 )
 from repro.faults.schedule import (
     fraction_loss_schedule,
+    great_circle_km,
     ground_station_outage_schedule,
     link_flap_schedule,
     plane_loss_event,
     plane_members,
     provider_withdrawal_event,
+    regional_blackout_event,
     satellite_mtbf_schedule,
     satellite_outage_event,
+    stations_within,
 )
 from repro.faults.inject import FaultInjector
 from repro.faults.metrics import (

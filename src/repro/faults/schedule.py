@@ -14,6 +14,7 @@ no-outage control are built from).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -182,6 +183,92 @@ def provider_withdrawal_event(provider: str, start_s: float,
     )
 
 
+#: Mean Earth radius used for great-circle footprints, km.
+EARTH_RADIUS_KM = 6371.0
+
+
+def great_circle_km(lat1_deg: float, lon1_deg: float,
+                    lat2_deg: float, lon2_deg: float) -> float:
+    """Great-circle distance between two geodetic points (haversine)."""
+    lat1, lon1, lat2, lon2 = map(
+        math.radians, (lat1_deg, lon1_deg, lat2_deg, lon2_deg)
+    )
+    sin_dlat = math.sin((lat2 - lat1) / 2.0)
+    sin_dlon = math.sin((lon2 - lon1) / 2.0)
+    chord = (sin_dlat * sin_dlat
+             + math.cos(lat1) * math.cos(lat2) * sin_dlon * sin_dlon)
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(chord)))
+
+
+def stations_within(stations, center_lat_deg: float, center_lon_deg: float,
+                    radius_km: float) -> List[str]:
+    """Ids of ground stations inside a great-circle footprint.
+
+    Args:
+        stations: :class:`~repro.ground.station.GroundStation` sequence.
+        center_lat_deg: Footprint center latitude, degrees.
+        center_lon_deg: Footprint center longitude, degrees.
+        radius_km: Footprint radius (inclusive); non-positive matches
+            nothing.
+
+    Returns:
+        Matching station ids, in the input order.
+    """
+    if radius_km <= 0.0:
+        return []
+    return [
+        station.station_id for station in stations
+        if great_circle_km(station.location.latitude_deg,
+                           station.location.longitude_deg,
+                           center_lat_deg, center_lon_deg) <= radius_km
+    ]
+
+
+def regional_blackout_event(stations, center_lat_deg: float,
+                            center_lon_deg: float, radius_km: float,
+                            start_s: float,
+                            duration_s: Optional[float] = None,
+                            fault_id: Optional[str] = None) -> FaultEvent:
+    """Correlated loss of every ground station in a geographic region.
+
+    The disaster failure mode the disrupted-communications workload is
+    built on: an earthquake, flood, or grid collapse takes the backhaul
+    of every gateway within ``radius_km`` of the epicenter down — and
+    back up — together.  Satellites overhead are unaffected; traffic
+    must be carried (store-and-forward) to gateways outside the region.
+
+    Args:
+        stations: :class:`~repro.ground.station.GroundStation` sequence
+            the footprint is resolved against.
+        center_lat_deg: Epicenter latitude, degrees.
+        center_lon_deg: Epicenter longitude, degrees.
+        radius_km: Blackout radius (great-circle, inclusive).
+        start_s: Blackout onset, simulation seconds.
+        duration_s: Outage length (None = permanent).
+        fault_id: Override the generated id.
+
+    Raises:
+        ValueError: When no station lies inside the footprint (an empty
+            fault event cannot exist; use :func:`stations_within` first
+            when "possibly nothing" is a valid outcome).
+    """
+    targets = stations_within(stations, center_lat_deg, center_lon_deg,
+                              radius_km)
+    if not targets:
+        raise ValueError(
+            f"no ground station within {radius_km:g} km of "
+            f"({center_lat_deg:g}, {center_lon_deg:g})"
+        )
+    return FaultEvent(
+        fault_id=fault_id or f"blackout-{radius_km:g}km",
+        kind=FaultKind.GROUND_STATION,
+        targets=tuple(targets),
+        start_s=start_s,
+        duration_s=duration_s,
+        cause="regional-blackout",
+    )
+
+
 def satellite_outage_event(satellite_ids: Sequence[str], start_s: float = 0.0,
                            duration_s: Optional[float] = None,
                            fault_id: str = "static-loss",
@@ -235,5 +322,8 @@ __all__ = [
     "provider_withdrawal_event",
     "satellite_outage_event",
     "fraction_loss_schedule",
+    "great_circle_km",
+    "stations_within",
+    "regional_blackout_event",
     "combine",
 ]

@@ -42,11 +42,25 @@ ROUTE_INVALIDATED = "route.invalidated"
 RETRANSMISSION = "retransmission"
 SESSION_ADMIT = "session.admit"
 SESSION_DROP = "session.drop"
+#: Bundle lifecycle (the disruption-tolerant data plane, repro.dtn):
+#: creation at a sensor, hop-by-hop forwarding, terminal delivery, a
+#: buffer-policy drop, and a TTL expiry.
+BUNDLE_CREATE = "bundle.create"
+BUNDLE_FORWARD = "bundle.forward"
+BUNDLE_DELIVER = "bundle.deliver"
+BUNDLE_DROP = "bundle.drop"
+BUNDLE_EXPIRE = "bundle.expire"
+#: Custody-transfer outcomes: the next hop acknowledged custody, or the
+#: retry budget ran out and the sender re-queued the bundle.
+CUSTODY_ACCEPT = "custody.accept"
+CUSTODY_TIMEOUT = "custody.timeout"
 
 KINDS: Tuple[str, ...] = (
     LINK_UP, LINK_DOWN, HANDOVER, FAULT_INJECT, FAULT_RECOVER,
     BREAKER_TRANSITION, ROUTE_INVALIDATED, RETRANSMISSION,
     SESSION_ADMIT, SESSION_DROP,
+    BUNDLE_CREATE, BUNDLE_FORWARD, BUNDLE_DELIVER, BUNDLE_DROP,
+    BUNDLE_EXPIRE, CUSTODY_ACCEPT, CUSTODY_TIMEOUT,
 )
 
 #: Default flight-recorder depth: enough to reconstruct the lead-up to a

@@ -15,6 +15,6 @@ provides the two pieces that make the fan-out safe:
   value.
 """
 
-from repro.parallel.sweeps import derive_seed, run_grid
+from repro.parallel.sweeps import SweepPointError, derive_seed, run_grid
 
-__all__ = ["derive_seed", "run_grid"]
+__all__ = ["SweepPointError", "derive_seed", "run_grid"]

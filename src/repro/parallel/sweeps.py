@@ -44,7 +44,7 @@ import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro import obs as _obs
 
@@ -79,8 +79,66 @@ def derive_seed(base_seed: int, *components: Any) -> int:
     return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)
 
 
-def _timed_call(worker: Callable[[Any], Any], point: Any,
-                capture_events: bool = False) -> Tuple[float, Any, Any]:
+class SweepPointError(RuntimeError):
+    """One sweep point's worker raised.
+
+    Wraps the original exception with everything needed to reproduce the
+    failing point without re-running the whole grid: the sweep label, the
+    point's grid index, its repr, and — when the point carries one — its
+    seed.  The original exception is chained as ``__cause__`` on the
+    serial path; on the pooled path the worker's traceback arrives via
+    the pool's remote-traceback plumbing.
+
+    Attributes:
+        label: The ``run_grid`` label of the failing sweep.
+        index: Zero-based grid index of the failing point.
+        total: Grid size.
+        point: The point value the worker received.
+        cause: ``"TypeName: message"`` of the original exception.
+        seed: The point's seed when discoverable (a ``seed`` key or
+            attribute), else None.
+    """
+
+    def __init__(self, label: str, index: int, total: int, point: Any,
+                 cause: str, seed: Optional[int] = None):
+        self.label = label
+        self.index = index
+        self.total = total
+        self.point = point
+        self.cause = cause
+        self.seed = seed
+        seed_note = "" if seed is None else f", seed={seed}"
+        super().__init__(
+            f"sweep '{label}' point {index + 1}/{total} failed"
+            f"{seed_note}: {point!r} ({cause})"
+        )
+
+    def __reduce__(self):
+        # Keep the pool's exception round-trip intact: the default
+        # Exception reduction re-invokes __init__ with .args (the
+        # formatted message), which does not match this signature.
+        return (self.__class__, (self.label, self.index, self.total,
+                                 self.point, self.cause, self.seed))
+
+
+def _point_seed(point: Any) -> Optional[int]:
+    """Best-effort seed discovery for failure reports.
+
+    Recognizes a ``seed`` mapping key or attribute on the point; plain
+    tuples (the common point shape here) carry no marker, so they report
+    no seed rather than guessing at a field.
+    """
+    if isinstance(point, dict):
+        seed = point.get("seed")
+    else:
+        seed = getattr(point, "seed", None)
+    return seed if isinstance(seed, int) and not isinstance(seed, bool) \
+        else None
+
+
+def _timed_call(worker: Callable[[Any], Any], point: Any, index: int = 0,
+                capture_events: bool = False, label: str = "sweep",
+                total: int = 1) -> Tuple[float, Any, Any]:
     """Run one point, returning (busy seconds, result, obs rows or None).
 
     Module-level so ``functools.partial(_timed_call, worker)`` stays
@@ -88,14 +146,26 @@ def _timed_call(worker: Callable[[Any], Any], point: Any,
     path under an enabled parent recorder) a local recorder is installed
     around the point and its event/health rows travel back with the
     result for in-order replay by the parent.
+
+    A worker exception is re-raised as :class:`SweepPointError` carrying
+    the point's index, repr, and seed — the pooled path would otherwise
+    surface a bare traceback with no hint of *which* point died.
     """
     start = time.perf_counter()
-    if not capture_events:
-        result = worker(point)
-        return time.perf_counter() - start, result, None
-    local = _obs.Recorder()
-    with _obs.use(local):
-        result = worker(point)
+    try:
+        if not capture_events:
+            result = worker(point)
+            return time.perf_counter() - start, result, None
+        local = _obs.Recorder()
+        with _obs.use(local):
+            result = worker(point)
+    except SweepPointError:
+        raise
+    except Exception as exc:
+        raise SweepPointError(
+            label, index, total, point,
+            f"{type(exc).__name__}: {exc}", seed=_point_seed(point),
+        ) from exc
     rows = local.health.rows() + local.events.rows()
     return time.perf_counter() - start, result, rows
 
@@ -128,12 +198,17 @@ def run_grid(worker: Callable[[Any], Any], points: Sequence[Any],
     with _obs.span(f"parallel.{label}", points=len(points),
                    jobs=worker_count):
         if worker_count == 1:
-            timed = [_timed_call(worker, point) for point in points]
+            timed = [
+                _timed_call(worker, point, index, label=label,
+                            total=len(points))
+                for index, point in enumerate(points)
+            ]
         else:
             call = partial(_timed_call, worker,
-                           capture_events=recorder.enabled)
+                           capture_events=recorder.enabled,
+                           label=label, total=len(points))
             with ProcessPoolExecutor(max_workers=worker_count) as pool:
-                timed = list(pool.map(call, points))
+                timed = list(pool.map(call, points, range(len(points))))
     if recorder.enabled:
         # Replay worker timelines in point order: the merged stream is
         # indistinguishable from the serial run's.

@@ -75,6 +75,9 @@ class TimeExpandedRouter:
 
     def __init__(self, snapshots: Sequence, horizon_s: Optional[float] = None,
                  backend: Optional[str] = None):
+        # Materialize first: a generator input must not be half-consumed
+        # by the emptiness check or the time scan below.
+        snapshots = list(snapshots)
         if not snapshots:
             raise ValueError("need at least one snapshot")
         self.backend = backend
@@ -82,7 +85,7 @@ class TimeExpandedRouter:
         times = [snap.time_s for snap in snapshots]
         if any(b <= a for a, b in zip(times[:-1], times[1:])):
             raise ValueError("snapshots must be strictly time-ordered")
-        self.snapshots = list(snapshots)
+        self.snapshots = snapshots
         self.epoch_times = times
         if horizon_s is None:
             step = times[-1] - times[-2] if len(times) > 1 else 60.0
@@ -141,6 +144,12 @@ class TimeExpandedRouter:
         start = (source, start_epoch)
         if start not in self._graph:
             return None
+        if source == target:
+            # Already there: a zero-delay plan with no transmissions.
+            return StoreAndForwardRoute(
+                source=source, target=target, departure_s=departure_s,
+                arrival_s=departure_s, hops=(), epochs_waited=0,
+            )
         if resolve_backend(self.backend) == BACKEND_CSR:
             if self._csr is None:
                 self._csr = CsrAdjacency.from_graph(

@@ -1,0 +1,173 @@
+"""Tests for the bundle model and the bounded custody buffer."""
+
+import pytest
+
+from repro import obs
+from repro.dtn import (
+    PRIORITY_BULK,
+    PRIORITY_CRITICAL,
+    PRIORITY_NORMAL,
+    Bundle,
+    BundleBuffer,
+)
+
+
+def _bundle(bundle_id="b-0", size=100, priority=PRIORITY_NORMAL,
+            ttl=float("inf"), created=0.0):
+    return Bundle(bundle_id=bundle_id, source="sensor", destination="",
+                  size_bytes=size, priority=priority, ttl_s=ttl,
+                  created_s=created)
+
+
+class TestBundle:
+    def test_expiry_clock(self):
+        bundle = _bundle(ttl=10.0, created=5.0)
+        assert bundle.expires_s == 15.0
+        assert not bundle.expired(14.999)
+        assert bundle.expired(15.0)
+
+    def test_infinite_ttl_never_expires(self):
+        assert not _bundle().expired(1e12)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            _bundle(size=0)
+        with pytest.raises(ValueError):
+            _bundle(size=-5)
+        with pytest.raises(ValueError):
+            _bundle(ttl=0.0)
+        with pytest.raises(ValueError):
+            _bundle(ttl=-1.0)
+        with pytest.raises(ValueError):
+            _bundle(priority=-1)
+        with pytest.raises(ValueError):
+            Bundle(bundle_id="", source="s", destination="", size_bytes=1)
+
+
+class TestBundleBuffer:
+    def test_accepts_within_capacity(self):
+        buffer = BundleBuffer("node", capacity_bytes=250)
+        accepted, dropped = buffer.offer(_bundle("a"))
+        assert accepted and not dropped
+        accepted, dropped = buffer.offer(_bundle("b"))
+        assert accepted and not dropped
+        assert buffer.used_bytes == 200
+        assert len(buffer) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BundleBuffer("node", capacity_bytes=0.0)
+
+    def test_duplicate_id_rejected(self):
+        buffer = BundleBuffer("node")
+        buffer.offer(_bundle("a"))
+        with pytest.raises(ValueError):
+            buffer.offer(_bundle("a"))
+
+    def test_evicts_lowest_priority_first(self):
+        buffer = BundleBuffer("node", capacity_bytes=200)
+        buffer.offer(_bundle("bulk", priority=PRIORITY_BULK))
+        buffer.offer(_bundle("crit", priority=PRIORITY_CRITICAL))
+        accepted, dropped = buffer.offer(
+            _bundle("norm", priority=PRIORITY_NORMAL)
+        )
+        assert accepted
+        assert [b.bundle_id for b in dropped] == ["bulk"]
+        assert "crit" in buffer and "norm" in buffer
+        assert buffer.drop_count == 1
+
+    def test_evicts_youngest_among_equal_priority(self):
+        buffer = BundleBuffer("node", capacity_bytes=200)
+        buffer.offer(_bundle("old", created=0.0), now_s=10.0)
+        buffer.offer(_bundle("young", created=9.0), now_s=10.0)
+        accepted, dropped = buffer.offer(
+            _bundle("incoming", priority=PRIORITY_CRITICAL, created=10.0),
+            now_s=10.0,
+        )
+        assert accepted
+        assert [b.bundle_id for b in dropped] == ["young"]
+        assert "old" in buffer
+
+    def test_incoming_is_its_own_victim_when_least_valuable(self):
+        buffer = BundleBuffer("node", capacity_bytes=200)
+        buffer.offer(_bundle("a", priority=PRIORITY_NORMAL))
+        buffer.offer(_bundle("b", priority=PRIORITY_NORMAL))
+        accepted, dropped = buffer.offer(
+            _bundle("cheap", priority=PRIORITY_BULK)
+        )
+        assert not accepted
+        assert [b.bundle_id for b in dropped] == ["cheap"]
+        assert len(buffer) == 2 and buffer.used_bytes == 200
+
+    def test_no_pointless_sacrifice(self):
+        """Refusal must not evict residents it cannot make room with."""
+        buffer = BundleBuffer("node", capacity_bytes=250)
+        buffer.offer(_bundle("bulk", size=50, priority=PRIORITY_BULK))
+        buffer.offer(_bundle("crit", size=200, priority=PRIORITY_CRITICAL))
+        # 100 bytes needed, only 50 evictable below NORMAL: refuse alone.
+        accepted, dropped = buffer.offer(
+            _bundle("norm", size=100, priority=PRIORITY_NORMAL)
+        )
+        assert not accepted
+        assert [b.bundle_id for b in dropped] == ["norm"]
+        assert "bulk" in buffer and "crit" in buffer
+
+    def test_oversized_bundle_never_fits(self):
+        buffer = BundleBuffer("node", capacity_bytes=100)
+        accepted, dropped = buffer.offer(_bundle("big", size=101))
+        assert not accepted
+        assert [b.bundle_id for b in dropped] == ["big"]
+        assert buffer.drop_count == 1
+
+    def test_expired_offer_refused_as_expiry(self):
+        buffer = BundleBuffer("node", capacity_bytes=1000)
+        accepted, dropped = buffer.offer(
+            _bundle("late", ttl=5.0, created=0.0), now_s=6.0,
+        )
+        assert not accepted and not dropped
+        assert buffer.expire_count == 1
+        assert buffer.drop_count == 0
+
+    def test_purge_expired(self):
+        buffer = BundleBuffer("node")
+        buffer.offer(_bundle("short", ttl=10.0))
+        buffer.offer(_bundle("long", ttl=100.0))
+        expired = buffer.purge_expired(50.0)
+        assert [b.bundle_id for b in expired] == ["short"]
+        assert "long" in buffer and "short" not in buffer
+        assert buffer.used_bytes == 100
+        assert buffer.expire_count == 1
+
+    def test_forwarding_order_most_valuable_first(self):
+        buffer = BundleBuffer("node")
+        buffer.offer(_bundle("n-late", priority=PRIORITY_NORMAL, created=5.0))
+        buffer.offer(_bundle("c", priority=PRIORITY_CRITICAL, created=9.0))
+        buffer.offer(_bundle("n-early", priority=PRIORITY_NORMAL,
+                             created=1.0))
+        assert [b.bundle_id for b in buffer.bundles()] == [
+            "c", "n-early", "n-late",
+        ]
+
+    def test_remove_releases_bytes(self):
+        buffer = BundleBuffer("node")
+        buffer.offer(_bundle("a"))
+        removed = buffer.remove("a")
+        assert removed is not None and removed.bundle_id == "a"
+        assert buffer.used_bytes == 0
+        assert buffer.remove("ghost") is None
+
+    def test_drop_and_expire_events_emitted(self):
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            buffer = BundleBuffer("node", capacity_bytes=100)
+            buffer.offer(_bundle("keep"), now_s=0.0)
+            buffer.offer(_bundle("spill", priority=PRIORITY_BULK),
+                         now_s=1.0)
+            buffer = BundleBuffer("node2")
+            buffer.offer(_bundle("brief", ttl=1.0), now_s=0.0)
+            buffer.purge_expired(2.0)
+        kinds = [event.kind for event in recorder.events.events]
+        assert kinds == ["bundle.drop", "bundle.expire"]
+        drop = recorder.events.events[0]
+        assert drop.subject == "spill"
+        assert dict(drop.attrs)["reason"] == "capacity"

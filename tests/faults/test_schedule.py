@@ -143,3 +143,67 @@ class TestFractionLoss:
     def test_rejects_out_of_range_fraction(self):
         with pytest.raises(ValueError):
             fraction_loss_schedule(SATS, 1.0)
+
+
+class TestRegionalBlackout:
+    """Geographic footprint helpers and the blackout fault event."""
+
+    @pytest.fixture
+    def stations(self):
+        from repro.ground.station import default_station_network
+        return default_station_network()
+
+    def test_great_circle_zero_for_same_point(self):
+        from repro.faults.schedule import great_circle_km
+        assert great_circle_km(-1.3, 36.8, -1.3, 36.8) == 0.0
+
+    def test_great_circle_known_distance(self):
+        from repro.faults.schedule import great_circle_km
+        # Nairobi to Bahrain, roughly 3300 km.
+        distance = great_circle_km(-1.3, 36.8, 26.1, 50.6)
+        assert 3100.0 < distance < 3500.0
+
+    def test_great_circle_antipodal_half_circumference(self):
+        from repro.faults.schedule import EARTH_RADIUS_KM, great_circle_km
+        distance = great_circle_km(0.0, 0.0, 0.0, 180.0)
+        assert distance == pytest.approx(np.pi * EARTH_RADIUS_KM)
+
+    def test_stations_within_zero_radius_empty(self, stations):
+        from repro.faults.schedule import stations_within
+        assert stations_within(stations, -1.3, 36.8, 0.0) == []
+        assert stations_within(stations, -1.3, 36.8, -5.0) == []
+
+    def test_stations_within_regional_footprint(self, stations):
+        from repro.faults.schedule import stations_within
+        assert stations_within(stations, -1.3, 36.8, 1500.0) == [
+            "gs-nairobi"
+        ]
+
+    def test_stations_within_grows_with_radius(self, stations):
+        from repro.faults.schedule import stations_within
+        near = set(stations_within(stations, -1.3, 36.8, 1500.0))
+        far = set(stations_within(stations, -1.3, 36.8, 4000.0))
+        assert near < far
+
+    def test_blackout_event_targets_and_kind(self, stations):
+        from repro.faults.schedule import regional_blackout_event
+        event = regional_blackout_event(stations, -1.3, 36.8, 1500.0,
+                                        start_s=600.0, duration_s=1800.0)
+        assert event.kind is FaultKind.GROUND_STATION
+        assert event.targets == ("gs-nairobi",)
+        assert event.start_s == 600.0
+        assert event.duration_s == 1800.0
+        assert event.cause == "regional-blackout"
+        assert event.fault_id == "blackout-1500km"
+
+    def test_blackout_event_permanent_by_default(self, stations):
+        from repro.faults.schedule import regional_blackout_event
+        event = regional_blackout_event(stations, -1.3, 36.8, 1500.0,
+                                        start_s=0.0)
+        assert event.permanent
+
+    def test_blackout_empty_footprint_rejected(self, stations):
+        from repro.faults.schedule import regional_blackout_event
+        with pytest.raises(ValueError, match="no ground station"):
+            regional_blackout_event(stations, 90.0, 0.0, 100.0,
+                                    start_s=0.0)

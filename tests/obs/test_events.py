@@ -24,7 +24,7 @@ class TestEvent:
         }
 
     def test_canonical_kinds_are_distinct(self):
-        assert len(set(KINDS)) == len(KINDS) == 10
+        assert len(set(KINDS)) == len(KINDS) == 17
 
 
 class TestEmission:

@@ -1,0 +1,90 @@
+"""Tests for sweep-point error wrapping in ``parallel.run_grid``."""
+
+import pytest
+
+from repro.parallel import SweepPointError, derive_seed, run_grid
+
+
+def _ok_worker(point):
+    return {"value": point[0] * 2}
+
+
+def _failing_worker(point):
+    if point[0] == 2:
+        raise KeyError("missing column")
+    return {"value": point[0]}
+
+
+def _failing_dict_worker(point):
+    if point["seed"] == 99:
+        raise RuntimeError("boom")
+    return dict(point)
+
+
+class TestSweepPointError:
+    def test_serial_failure_is_wrapped_with_context(self):
+        points = [(1,), (2,), (3,)]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_grid(_failing_worker, points, jobs=1, label="demo")
+        error = excinfo.value
+        assert error.label == "demo"
+        assert error.index == 1
+        assert error.total == 3
+        assert error.point == (2,)
+        assert "KeyError" in error.cause
+        assert isinstance(error.__cause__, KeyError)
+        message = str(error)
+        assert "demo" in message
+        assert "point 2/3" in message
+        assert "(2,)" in message
+
+    def test_pooled_failure_is_wrapped_with_context(self):
+        points = [(1,), (2,), (3,), (4,)]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_grid(_failing_worker, points, jobs=2, label="demo")
+        error = excinfo.value
+        assert error.index == 1
+        assert error.total == 4
+        assert error.point == (2,)
+        assert "KeyError" in error.cause
+
+    def test_seed_reported_for_dict_points(self):
+        points = [{"seed": 7}, {"seed": 99}]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_grid(_failing_dict_worker, points, jobs=1)
+        error = excinfo.value
+        assert error.seed == 99
+        assert "seed=99" in str(error)
+
+    def test_seed_none_for_plain_tuples(self):
+        with pytest.raises(SweepPointError) as excinfo:
+            run_grid(_failing_worker, [(2,)], jobs=1)
+        assert excinfo.value.seed is None
+        assert "seed" not in str(excinfo.value)
+
+    def test_success_paths_unchanged(self):
+        points = [(1,), (2,), (3,)]
+        serial = run_grid(_ok_worker, points, jobs=1)
+        pooled = run_grid(_ok_worker, points, jobs=2)
+        assert serial == pooled == [{"value": 2}, {"value": 4},
+                                    {"value": 6}]
+
+    def test_pickles_cleanly(self):
+        import pickle
+
+        error = SweepPointError("lbl", 3, 10, (1, 2), "ValueError: x",
+                                seed=42)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.label == "lbl"
+        assert clone.index == 3
+        assert clone.total == 10
+        assert clone.point == (1, 2)
+        assert clone.seed == 42
+        assert str(clone) == str(error)
+
+
+class TestDeriveSeed:
+    def test_stable_and_distinct(self):
+        assert derive_seed(17, "a", 1.0) == derive_seed(17, "a", 1.0)
+        assert derive_seed(17, "a", 1.0) != derive_seed(17, "a", 2.0)
+        assert derive_seed(17, "a") != derive_seed(18, "a")

@@ -404,6 +404,76 @@ class TestReliabilityCommand:
         assert "reliability.channel.messages" in counter_names
 
 
+class TestDtnCommand:
+    QUICK_SWEEP = ["dtn", "sweep", "--radius", "0", "1500",
+                   "--buffer-kb", "64", "--horizon", "3600",
+                   "--step", "600", "--loss", "0", "--sensors", "2",
+                   "--satellites", "24", "--interval", "600",
+                   "--bundle-bytes", "1024", "--seed", "17"]
+
+    def test_sweep_prints_delivery_table(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "replans" in out and "drops" in out
+        rows = out.strip().splitlines()[1:]
+        assert len(rows) == 2
+
+    def test_sweep_same_seed_byte_identical(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        first = capsys.readouterr().out
+        assert main(self.QUICK_SWEEP) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_rejects_bad_options(self, capsys):
+        assert main(["dtn", "sweep", "--radius", "-5"]) != 0
+        assert "bad dtn sweep options" in capsys.readouterr().err
+
+    def test_requires_dtn_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["dtn"])
+
+    def test_sweep_trace_records_dtn_metrics(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        trace = tmp_path / "dtn.jsonl"
+        events = tmp_path / "events.jsonl"
+        assert main(self.QUICK_SWEEP + ["--trace", str(trace),
+                                        "--events-out", str(events)]) == 0
+        records = read_jsonl(trace)
+        span_names = {
+            record["name"] for record in records
+            if record["type"] == "span"
+        }
+        assert "experiment.disrupted.sweep" in span_names
+        counter_names = {
+            record["name"] for record in records
+            if record["type"] == "counter"
+        }
+        assert "dtn.bundles.created" in counter_names
+        assert "dtn.custody.transfers" in counter_names
+        event_kinds = {
+            record["kind"] for record in read_jsonl(events)
+            if record["type"] == "event"
+        }
+        assert "bundle.create" in event_kinds
+        assert "bundle.deliver" in event_kinds
+        assert "custody.accept" in event_kinds
+
+    def test_sweep_events_identical_across_jobs(self, capsys, tmp_path):
+        def capture(name, *extra):
+            path = tmp_path / name
+            assert main(self.QUICK_SWEEP + list(extra)
+                        + ["--events-out", str(path)]) == 0
+            capsys.readouterr()
+            lines = path.read_text().splitlines()
+            assert '"type": "manifest"' in lines[0]
+            return lines[1:]
+
+        serial = capture("a.jsonl")
+        assert capture("b.jsonl") == serial
+        assert capture("p.jsonl", "--jobs", "2") == serial
+
+
 class TestReportCommand:
     def test_writes_markdown_report(self, tmp_path, capsys):
         output = tmp_path / "RESULTS.md"
