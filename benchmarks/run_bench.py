@@ -58,6 +58,7 @@ from repro.experiments.demand import demand_sweep
 from repro.experiments.disrupted import disrupted_sweep
 from repro.experiments.reliability import reliability_sweep
 from repro.experiments.resilience_dynamic import dynamic_resilience_sweep
+from repro.experiments.scale import plane_count_for, scale_sweep
 from repro.ground.station import default_station_network
 from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
 from repro.orbits.coordinates import ecef_to_eci
@@ -66,7 +67,7 @@ from repro.orbits.visibility import (
     has_line_of_sight,
     slant_range,
 )
-from repro.orbits.walker import iridium_like, random_constellation
+from repro.orbits.walker import iridium_like, random_constellation, walker_delta
 from repro.routing.csr import default_backend, set_default_backend
 from repro.routing.proactive import ProactiveRouter
 from repro.routing.timeexpanded import TimeExpandedRouter
@@ -497,6 +498,69 @@ def bench_dtn() -> dict:
             "queries": len(nx_routes)}
 
 
+#: Fleet size for the mega-constellation completion record inside
+#: ``bench_scale``; ``--scale-satellites`` overrides it (the CI smoke
+#: path runs a smaller fleet, the full gate runs the 10k default).
+MEGA_SCALE_SATELLITES = 10_000
+
+
+def bench_scale() -> dict:
+    """Mega-constellation topology build: all-pairs vs grid-pruned.
+
+    This is the acceptance measurement for the spatial index: one
+    snapshot of a 2880-satellite Walker Delta fleet, candidate discovery
+    via the full upper triangle vs the latitude/longitude grid, with the
+    digests asserted byte-identical.  The case also proves the delta
+    path (delta-built digests equal full rebuilds over an orbital
+    period) and records that a ``MEGA_SCALE_SATELLITES``-satellite fleet
+    completes one full orbital period through the delta path.
+    """
+    count = 2880
+    fleet = build_fleet(walker_delta(count, plane_count_for(count)),
+                        "bench-scale", SizeClass.MEDIUM)
+
+    def snap(spatial):
+        network = OpenSpaceNetwork(
+            fleet, [], max_isl_range_km=3000.0, snapshot_cache_size=0,
+            spatial_index=spatial, snapshot_delta=False,
+        )
+        return network.snapshot(0.0)
+
+    assert snap(True).digest() == snap(False).digest(), \
+        "grid-pruned snapshot diverged from all-pairs"
+    allpairs_s = _timeit(lambda: snap(False), repeat=2)
+    spatial_s = _timeit(lambda: snap(True), repeat=2)
+
+    digest_rows = scale_sweep(satellite_counts=(360,), epochs=4,
+                              compare_digests=True)
+    assert all(row["digests_match"] for row in digest_rows), \
+        "delta-built snapshot digest diverged from full rebuild"
+
+    start = time.perf_counter()
+    mega = scale_sweep(satellite_counts=(MEGA_SCALE_SATELLITES,),
+                       epochs=4, compare_digests=False)[0]
+    mega_s = time.perf_counter() - start
+    return {
+        "scalar_s": allpairs_s, "vectorized_s": spatial_s,
+        "speedup": allpairs_s / spatial_s,
+        "snapshot_satellites": count,
+        "digest_satellites": 360,
+        "digests_match": True,
+        "mega": {
+            "satellites": mega["satellites"],
+            "planes": mega["planes"],
+            "epochs": mega["epochs"],
+            "period_s": mega["period_s"],
+            "mean_isl_edges": mega["mean_isl_edges"],
+            "mean_degree": mega["mean_degree"],
+            "churn_mean": mega["churn_mean"],
+            "delta_builds": mega["delta_builds"],
+            "total_s": mega_s,
+            "completed": True,
+        },
+    }
+
+
 def bench_determinism(jobs: int) -> dict:
     """Digest each sweep at jobs=1 and jobs=N; they must agree."""
     cases = {}
@@ -576,6 +640,7 @@ BENCH_CASES = {
     "obs_overhead": bench_obs_overhead,
     "demand_fluid": bench_demand_fluid,
     "dtn": bench_dtn,
+    "scale": bench_scale,
 }
 
 
@@ -637,6 +702,7 @@ def check(result: dict, baseline: dict, tolerance: float) -> list:
 
 
 def main(argv=None) -> int:
+    global MEGA_SCALE_SATELLITES
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the results JSON")
@@ -656,7 +722,12 @@ def main(argv=None) -> int:
                         help="run only the named benchmark cases "
                              "(skips determinism/backend sections; "
                              "incompatible with --check)")
+    parser.add_argument("--scale-satellites", type=int,
+                        default=MEGA_SCALE_SATELLITES, metavar="N",
+                        help="fleet size for the scale benchmark's "
+                             "mega-constellation completion record")
     args = parser.parse_args(argv)
+    MEGA_SCALE_SATELLITES = args.scale_satellites
     if args.only and (args.check or args.write_baseline):
         parser.error("--only cannot be combined with --check or "
                      "--write-baseline (partial runs are not a gate)")

@@ -9,10 +9,11 @@ cover.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -22,7 +23,11 @@ from repro.core.federation import Federation
 from repro.core.interop import SpacecraftSpec
 from repro.ground.station import GroundStation
 from repro.ground.user import UserTerminal
-from repro.isl.topology import IslTopologyBuilder, TopologySnapshot
+from repro.isl.topology import (
+    IslTopologyBuilder,
+    TopologyDelta,
+    TopologySnapshot,
+)
 from repro.orbits.constants import SPEED_OF_LIGHT_KM_S
 from repro.orbits.kepler import KeplerPropagator, batch_positions
 from repro.orbits.visibility import elevation_angles
@@ -40,6 +45,52 @@ from repro.routing.metrics import (
     path_metrics,
     shortest_path,
 )
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """What changed between one base snapshot and the previous one.
+
+    Recorded by :class:`OpenSpaceNetwork` on every base-snapshot build
+    (see :attr:`OpenSpaceNetwork.last_snapshot_delta`) so incremental
+    consumers — route invalidation, churn accounting, the scale sweep —
+    know exactly which edges moved without diffing graphs themselves.
+
+    Attributes:
+        time_s: The new snapshot's timestamp.
+        base_time_s: The previous snapshot's timestamp (None on a full
+            rebuild with no usable predecessor).
+        isl: The ISL-layer edge delta, or None on a full rebuild.
+        ground_appeared: Station links present now but not previously.
+        ground_disappeared: Station links present previously, gone now.
+        structure_unchanged: True when the combined edge set (ISLs and
+            ground links) is identical to the previous snapshot's, which
+            lets cached CSR adjacencies be reused structurally.
+        full_rebuild: True when the snapshot was assembled from scratch
+            (first build, fault-state change, or delta disabled).
+    """
+
+    time_s: float
+    base_time_s: Optional[float]
+    isl: Optional[TopologyDelta]
+    ground_appeared: Tuple[Tuple[str, str], ...] = ()
+    ground_disappeared: Tuple[Tuple[str, str], ...] = ()
+    structure_unchanged: bool = False
+    full_rebuild: bool = False
+
+    @property
+    def changed_edge_count(self) -> int:
+        isl_changed = self.isl.changed_count if self.isl is not None else 0
+        return (isl_changed + len(self.ground_appeared)
+                + len(self.ground_disappeared))
+
+    @property
+    def disappeared_edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Every edge that vanished, ISL and ground alike — the set to
+        feed :meth:`~repro.routing.proactive.ProactiveRouter.
+        invalidate_routes_through_edges`."""
+        isl_gone = self.isl.disappeared if self.isl is not None else ()
+        return tuple(isl_gone) + tuple(self.ground_disappeared)
 
 
 @dataclass
@@ -65,6 +116,13 @@ class NetworkSnapshot:
     _csr_cache: Dict[EdgeCostModel, CsrAdjacency] = field(
         default_factory=dict, repr=False, compare=False,
     )
+    #: A structurally identical predecessor snapshot (set by the delta
+    #: build path when no edges appeared or disappeared); its cached
+    #: adjacencies seed ours via ``structure_clone`` instead of a full
+    #: CSR rebuild.
+    _csr_source: Optional["NetworkSnapshot"] = field(
+        default=None, repr=False, compare=False,
+    )
 
     def csr_adjacency(self, cost_model: Optional[EdgeCostModel] = None,
                       ) -> CsrAdjacency:
@@ -72,9 +130,37 @@ class NetworkSnapshot:
         model = cost_model or PROPAGATION_ONLY
         adjacency = self._csr_cache.get(model)
         if adjacency is None:
-            adjacency = CsrAdjacency.from_graph(self.graph, weight=model)
+            source = self._csr_source
+            if source is not None:
+                template = source._csr_cache.get(model)
+                if template is not None:
+                    adjacency = template.structure_clone(self.graph)
+            if adjacency is None:
+                adjacency = CsrAdjacency.from_graph(self.graph, weight=model)
             self._csr_cache[model] = adjacency
         return adjacency
+
+    def digest(self) -> str:
+        """Canonical content hash of the snapshot graph.
+
+        Nodes and edges are serialized in sorted order with sorted
+        attribute keys, so the digest depends only on graph *content* —
+        never on insertion order.  This is the equality witness the
+        delta-vs-full-rebuild gates compare: a delta-built snapshot must
+        hash identically to a from-scratch build at the same instant.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(repr(self.time_s).encode())
+        for node, data in sorted(self.graph.nodes(data=True)):
+            hasher.update(repr((node, sorted(data.items()))).encode())
+        for node_a, node_b, data in sorted(
+            (min(a, b), max(a, b), d)
+            for a, b, d in self.graph.edges(data=True)
+        ):
+            hasher.update(
+                repr((node_a, node_b, sorted(data.items()))).encode()
+            )
+        return hasher.hexdigest()
 
     def refresh_csr(self) -> None:
         """Recompute cached CSR weight arrays from the live edge dicts.
@@ -158,6 +244,15 @@ class OpenSpaceNetwork:
             default ``0.0`` keys on the exact request time (a hit
             requires the same instant); a positive quantum trades
             sub-quantum staleness for hits across nearby times.
+        snapshot_delta: Build each base snapshot as a delta on the
+            previous one (graph copy + changed edges) instead of from
+            scratch.  Content is byte-identical either way (see
+            :meth:`NetworkSnapshot.digest`); ``False`` restores the
+            always-full-rebuild path, the oracle the digest gates
+            compare against.
+        spatial_index: Forwarded to the ISL builder: ``True``/``False``
+            force grid-pruned or all-pairs candidate discovery, ``None``
+            switches on fleet size.
     """
 
     def __init__(self, satellites: Sequence[SpacecraftSpec],
@@ -166,7 +261,9 @@ class OpenSpaceNetwork:
                  ground_elevation_mask_deg: float = 10.0,
                  gateway_dish_m: float = 3.5,
                  snapshot_cache_size: int = 64,
-                 snapshot_cache_quantum_s: float = 0.0):
+                 snapshot_cache_quantum_s: float = 0.0,
+                 snapshot_delta: bool = True,
+                 spatial_index: Optional[bool] = None):
         if not satellites:
             raise ValueError("need at least one satellite")
         if snapshot_cache_size < 0:
@@ -180,6 +277,7 @@ class OpenSpaceNetwork:
         self._builder = IslTopologyBuilder(
             [spec.to_isl_node() for spec in self.satellites],
             max_range_km=max_isl_range_km,
+            spatial_index=spatial_index,
         )
         self._propagators = {
             spec.satellite_id: KeplerPropagator(spec.elements)
@@ -201,6 +299,22 @@ class OpenSpaceNetwork:
         self._snapshot_cache: "OrderedDict[tuple, NetworkSnapshot]" = (
             OrderedDict()
         )
+        self.snapshot_delta_enabled = snapshot_delta
+        #: The delta recorded by the most recent base-snapshot build.
+        self.last_snapshot_delta: Optional[SnapshotDelta] = None
+        #: Cumulative build accounting (deterministic per call sequence).
+        self.delta_stats: Dict[str, int] = {
+            "full_builds": 0,
+            "delta_builds": 0,
+            "edges_appeared": 0,
+            "edges_disappeared": 0,
+            "edges_persisted": 0,
+            "structure_reuses": 0,
+        }
+        self._delta_prev: Optional[NetworkSnapshot] = None
+        self._delta_prev_epoch: int = -1
+        self._delta_prev_ground: FrozenSet[Tuple[str, str]] = frozenset()
+        self._primed_positions: Dict[float, Dict[str, np.ndarray]] = {}
 
     @classmethod
     def from_federation(cls, federation: Federation,
@@ -329,12 +443,48 @@ class OpenSpaceNetwork:
         return bool(self._failed_satellites or self._failed_stations
                     or self._failed_links)
 
+    def prime_positions(self, times_s: Sequence[float]) -> int:
+        """Precompute satellite positions for a whole epoch grid.
+
+        One batched ``(N, T)`` propagation replaces T per-epoch fleet
+        solves; subsequent :meth:`snapshot` / :meth:`satellite_positions`
+        calls at exactly these times reuse the cached columns.
+
+        The Kepler solver converges per element, but numpy's vectorized
+        trig may round the final ulp differently for different array
+        lengths — so primed positions can differ from per-epoch solves
+        by ~1e-13 km.  Byte-identical comparisons (delta vs full digest
+        gates, jobs determinism) therefore require both sides to use the
+        same time grid: prime both networks, or neither.
+
+        Returns:
+            The number of epochs primed.
+        """
+        times = [float(t) for t in times_s]
+        if not times:
+            return 0
+        propagators = [prop for _, prop in self._propagator_order]
+        positions = batch_positions(propagators, times)
+        for column, time_s in enumerate(times):
+            self._primed_positions[time_s] = {
+                sat_id: positions[index, column]
+                for index, (sat_id, _) in enumerate(self._propagator_order)
+            }
+        return len(times)
+
+    def clear_primed_positions(self) -> None:
+        self._primed_positions.clear()
+
     def satellite_positions(self, time_s: float) -> Dict[str, np.ndarray]:
         """ECI position of every satellite at ``time_s``.
 
         One batched propagation for the whole fleet (see
-        :func:`~repro.orbits.kepler.batch_positions`).
+        :func:`~repro.orbits.kepler.batch_positions`), unless the
+        instant was primed via :meth:`prime_positions`.
         """
+        primed = self._primed_positions.get(float(time_s))
+        if primed is not None:
+            return primed
         propagators = [prop for _, prop in self._propagator_order]
         positions = batch_positions(propagators, time_s)[:, 0, :]
         return {
@@ -427,31 +577,51 @@ class OpenSpaceNetwork:
         return snap
 
     def _base_snapshot(self, time_s: float) -> NetworkSnapshot:
-        """The no-user snapshot (ISLs + ground stations), cached."""
+        """The no-user snapshot (ISLs + ground stations), cached.
+
+        Built as a delta on the previous base snapshot whenever one
+        exists under the same fault epoch (and delta building is
+        enabled); otherwise assembled from scratch.  Both paths produce
+        content-identical snapshots — :meth:`NetworkSnapshot.digest` is
+        the gate that keeps the delta path a proof, not a fork.
+        """
         key = self._cache_key(time_s, ())
         cached = self._cache_get(key)
         if cached is not None:
             return cached
-        positions = self.satellite_positions(time_s)
-        isl_snap = self._builder.snapshot(
-            time_s, positions, exclude=self._failed_satellites or None
-        )
-        graph = isl_snap.graph.copy()
-        alive = [
+        prev = self._delta_prev
+        snap = None
+        if (self.snapshot_delta_enabled and prev is not None
+                and self._delta_prev_epoch == self._fault_epoch):
+            snap = self._delta_base_snapshot(time_s, prev)
+        if snap is None:
+            snap = self._full_base_snapshot(time_s)
+        # Only the immediate predecessor is kept as a CSR structure
+        # template; breaking the older link bounds the chain at two
+        # generations instead of retaining every epoch ever built.
+        if prev is not None:
+            prev._csr_source = None
+        self._delta_prev = snap
+        self._delta_prev_epoch = self._fault_epoch
+        self._cache_put(key, snap)
+        return snap
+
+    def _alive_satellites(self) -> List[SpacecraftSpec]:
+        return [
             spec for spec in self.satellites
             if spec.satellite_id not in self._failed_satellites
         ]
-        for spec in alive:
-            graph.nodes[spec.satellite_id]["kind"] = "satellite"
-            graph.nodes[spec.satellite_id]["owner"] = spec.owner
-        for node_a, node_b in self._failed_links:
-            if graph.has_edge(node_a, node_b):
-                graph.remove_edge(node_a, node_b)
 
+    def _attach_ground(self, graph: nx.Graph, time_s: float,
+                       positions: Dict[str, np.ndarray],
+                       alive: Sequence[SpacecraftSpec],
+                       ) -> FrozenSet[Tuple[str, str]]:
+        """Add station nodes + ground links; returns the link pairs."""
         alive_matrix = (
             np.stack([positions[spec.satellite_id] for spec in alive])
             if alive else np.empty((0, 3))
         )
+        pairs = set()
         for station in self.ground_stations:
             if station.station_id in self._failed_stations:
                 continue
@@ -479,10 +649,116 @@ class OpenSpaceNetwork:
                 if attrs is not None:
                     graph.add_edge(spec.satellite_id, station.station_id,
                                    **attrs)
+                    pairs.add((spec.satellite_id, station.station_id))
+        return frozenset(pairs)
+
+    def _full_base_snapshot(self, time_s: float) -> NetworkSnapshot:
+        """Assemble the base snapshot from scratch."""
+        prev = self._delta_prev
+        positions = self.satellite_positions(time_s)
+        isl_snap = self._builder.snapshot(
+            time_s, positions, exclude=self._failed_satellites or None
+        )
+        graph = isl_snap.graph.copy()
+        alive = self._alive_satellites()
+        for spec in alive:
+            graph.nodes[spec.satellite_id]["kind"] = "satellite"
+            graph.nodes[spec.satellite_id]["owner"] = spec.owner
+        for node_a, node_b in self._failed_links:
+            if graph.has_edge(node_a, node_b):
+                graph.remove_edge(node_a, node_b)
+        ground_pairs = self._attach_ground(graph, time_s, positions, alive)
 
         snap = NetworkSnapshot(time_s=time_s, graph=graph,
                                isl_snapshot=isl_snap)
-        self._cache_put(key, snap)
+        self._delta_prev_ground = ground_pairs
+        self.last_snapshot_delta = SnapshotDelta(
+            time_s=time_s,
+            base_time_s=prev.time_s if prev is not None else None,
+            isl=None,
+            full_rebuild=True,
+        )
+        self.delta_stats["full_builds"] += 1
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("network.snapshot.full_build")
+        return snap
+
+    def _delta_base_snapshot(self, time_s: float,
+                             prev: NetworkSnapshot,
+                             ) -> Optional[NetworkSnapshot]:
+        """Assemble the base snapshot as a delta on ``prev``.
+
+        Returns None when no comparable previous topology exists (the
+        participating node set changed), sending the caller down the
+        full path.  The previous snapshot is never mutated — it may
+        still be served from the snapshot cache.
+        """
+        positions = self.satellite_positions(time_s)
+        isl_snap, isl_delta = self._builder.snapshot_delta(
+            time_s, positions, exclude=self._failed_satellites or None,
+            previous=prev.isl_snapshot,
+        )
+        if isl_delta.full_rebuild:
+            return None
+        graph = prev.graph.copy()
+        failed = self._failed_links
+        new_edges = isl_snap.graph.edges
+        for pair in isl_delta.disappeared:
+            if graph.has_edge(*pair):
+                graph.remove_edge(*pair)
+        for pair in isl_delta.appeared:
+            if pair in failed:
+                continue
+            graph.add_edge(pair[0], pair[1], **new_edges[pair])
+        for pair in isl_delta.persisted:
+            if pair in failed:
+                continue
+            # Weight-refresh in place: the link was re-budgeted at the
+            # new distance, but the edge (and the copied attr dict)
+            # persists.
+            graph.edges[pair].update(new_edges[pair])
+        # Ground geometry moves every epoch (stations rotate with the
+        # Earth), so station links are recomputed outright.
+        stale_ground = [
+            (u, v) for u, v, data in graph.edges(data=True)
+            if data.get("kind") == "ground_link"
+        ]
+        graph.remove_edges_from(stale_ground)
+        alive = self._alive_satellites()
+        ground_pairs = self._attach_ground(graph, time_s, positions, alive)
+
+        prev_ground = self._delta_prev_ground
+        ground_appeared = tuple(sorted(ground_pairs - prev_ground))
+        ground_disappeared = tuple(sorted(prev_ground - ground_pairs))
+        structure_unchanged = (
+            not isl_delta.appeared and not isl_delta.disappeared
+            and not ground_appeared and not ground_disappeared
+        )
+        snap = NetworkSnapshot(time_s=time_s, graph=graph,
+                               isl_snapshot=isl_snap)
+        if structure_unchanged:
+            snap._csr_source = prev
+            self.delta_stats["structure_reuses"] += 1
+        self._delta_prev_ground = ground_pairs
+        self.last_snapshot_delta = SnapshotDelta(
+            time_s=time_s,
+            base_time_s=prev.time_s,
+            isl=isl_delta,
+            ground_appeared=ground_appeared,
+            ground_disappeared=ground_disappeared,
+            structure_unchanged=structure_unchanged,
+        )
+        stats = self.delta_stats
+        stats["delta_builds"] += 1
+        stats["edges_appeared"] += len(isl_delta.appeared) + len(ground_appeared)
+        stats["edges_disappeared"] += (
+            len(isl_delta.disappeared) + len(ground_disappeared)
+        )
+        stats["edges_persisted"] += len(isl_delta.persisted)
+        recorder = _obs.active()
+        if recorder.enabled:
+            recorder.count("network.snapshot.delta_build")
         return snap
 
     def _add_user_edges(self, graph: nx.Graph, user: UserTerminal,

@@ -34,6 +34,7 @@ from repro.experiments.ablations import (
     ablation_mac,
 )
 from repro.experiments.demand import demand_sweep
+from repro.experiments.scale import scale_sweep
 
 __all__ = [
     "ConstellationReport",
@@ -53,6 +54,7 @@ __all__ = [
     "availability_sweep",
     "demand_sweep",
     "resilience_sweep",
+    "scale_sweep",
     "dynamic_resilience_sweep",
     "run_fault_scenario",
     "figure_2b_to_csv",

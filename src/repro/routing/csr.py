@@ -282,6 +282,32 @@ class CsrAdjacency:
             self._sp_cache.clear()
         return changed
 
+    def structure_clone(self, graph) -> "CsrAdjacency":
+        """A new adjacency sharing this one's structure arrays.
+
+        The incremental path for consecutive snapshots whose edge *set*
+        did not change (the common mega-constellation epoch): the
+        ``indptr``/``indices`` arrays and node table are reused by
+        reference and only the weight array is recomputed, from
+        ``graph``'s live edge-attribute dicts — no edge iteration, no
+        lexsort.  ``graph`` must contain exactly the same nodes and
+        edges as the graph this adjacency was built from (callers assert
+        that via their snapshot delta); a missing edge raises
+        ``KeyError``.  Weight callables are invoked with the orientation
+        recorded at the original build, which is indistinguishable for
+        the undirected snapshot graphs this is used on.
+        """
+        edges = graph.edges
+        edge_dicts = [(u, v, edges[u, v]) for u, v, _old in self._edge_dicts]
+        weight_fn = _weight_callable(self._weight)
+        data = np.empty(len(edge_dicts), dtype=np.float64)
+        for k, (u, v, entry) in enumerate(edge_dicts):
+            cost = weight_fn(u, v, entry)
+            data[k] = float(cost) if cost is not None and np.isfinite(cost) \
+                else np.inf
+        return CsrAdjacency(self.nodes, self.indptr, self.indices, data,
+                            edge_dicts, self._weight)
+
     # -- shortest paths ------------------------------------------------
 
     def shortest_paths(self, sources: Sequence[Hashable]) -> "ShortestPaths":

@@ -300,3 +300,82 @@ class TestLazyMaterialization:
         table = router.precompute(snapshots)
         assert table.route_count == 18
         assert not any(epoch._cache for epoch in table.routes)
+
+
+@pytest.fixture
+def chain_snapshots():
+    """Two epochs of a static a-b-c-d chain."""
+    edges = [("a", "b", 0.01), ("b", "c", 0.01), ("c", "d", 0.01)]
+    return [FakeSnapshot(0.0, edges), FakeSnapshot(60.0, edges)]
+
+
+class TestEdgeInvalidation:
+    @pytest.mark.parametrize("backend", ["networkx", "csr"])
+    def test_only_routes_riding_the_edge_drop(self, chain_snapshots,
+                                              backend):
+        if backend == "csr":
+            pytest.importorskip("scipy")
+        router = ProactiveRouter(backend=backend)
+        router.precompute(chain_snapshots)
+        # Cutting b-c severs every route crossing the middle of the
+        # chain (4 ordered pairs x 2 epochs) but leaves a<->b and c<->d.
+        dropped = router.invalidate_routes_through_edges([("c", "b")])
+        assert dropped == 16
+        assert router.route("a", "b", 10.0) is not None
+        assert router.route("d", "c", 10.0) is not None
+        assert router.route("a", "c", 10.0) is None
+        assert router.route("a", "d", 70.0) is None
+
+    @pytest.mark.parametrize("backend", ["networkx", "csr"])
+    def test_visiting_both_endpoints_without_edge_survives(self, backend):
+        if backend == "csr":
+            pytest.importorskip("scipy")
+        # The d->e shortest path is d-a-b-c-e: it visits BOTH endpoints
+        # of the expensive direct (a, c) edge, but never hops it (a and
+        # c are not consecutive). Endpoint-intersection candidates must
+        # be path-checked, not dropped wholesale.
+        snaps = [FakeSnapshot(0.0, [
+            ("d", "a", 0.01), ("a", "b", 0.01), ("b", "c", 0.01),
+            ("c", "e", 0.01), ("a", "c", 1.0),
+        ])]
+        router = ProactiveRouter(backend=backend)
+        router.precompute(snaps)
+        assert router.route("d", "e", 0.0).path == ["d", "a", "b", "c", "e"]
+        dropped = router.invalidate_routes_through_edges([("a", "c")])
+        assert dropped == 0  # no shortest path actually rides a-c
+        assert router.route("d", "e", 0.0) is not None
+        assert router.route("a", "c", 0.0) is not None
+
+    def test_from_time_scopes_to_later_epochs(self, chain_snapshots):
+        router = ProactiveRouter(backend="networkx")
+        router.precompute(chain_snapshots)
+        dropped = router.invalidate_routes_through_edges(
+            [("b", "c")], from_time_s=60.0
+        )
+        assert dropped == 8  # second epoch only
+        assert router.route("a", "d", 10.0) is not None
+        assert router.route("a", "d", 70.0) is None
+
+    def test_self_pairs_and_empty_input_are_noops(self, chain_snapshots):
+        router = ProactiveRouter(backend="networkx")
+        router.precompute(chain_snapshots)
+        assert router.invalidate_routes_through_edges([]) == 0
+        assert router.invalidate_routes_through_edges([("a", "a")]) == 0
+        assert router.invalidate_routes_through_edges(
+            [("nope", "missing")]
+        ) == 0
+        assert ProactiveRouter().invalidate_routes_through_edges(
+            [("a", "b")]
+        ) == 0
+
+    @pytest.mark.parametrize("backend", ["networkx", "csr"])
+    def test_edge_order_within_pair_is_ignored(self, chain_snapshots,
+                                               backend):
+        if backend == "csr":
+            pytest.importorskip("scipy")
+        forward = ProactiveRouter(backend=backend)
+        forward.precompute(chain_snapshots)
+        reverse = ProactiveRouter(backend=backend)
+        reverse.precompute(chain_snapshots)
+        assert forward.invalidate_routes_through_edges([("b", "c")]) == \
+            reverse.invalidate_routes_through_edges([("c", "b")])

@@ -1,0 +1,50 @@
+"""Regression tests for the benchmark harness CLI surface.
+
+These shell out to ``benchmarks/run_bench.py`` the way CI does, but
+only exercise argument-validation paths that exit before any benchmark
+runs, so they stay fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RUN_BENCH = REPO_ROOT / "benchmarks" / "run_bench.py"
+
+
+def run_bench(*argv):
+    return subprocess.run(
+        [sys.executable, str(RUN_BENCH), *argv],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestOnlyFlag:
+    def test_unknown_case_name_fails_with_catalog(self):
+        proc = run_bench("--only", "bogus-case")
+        assert proc.returncode == 1
+        assert "unknown benchmark case(s)" in proc.stderr
+        assert "bogus-case" in proc.stderr
+        # The error lists the valid names so the CI matrix is
+        # self-diagnosing when a case is renamed.
+        assert "scale" in proc.stderr
+
+    def test_mixed_known_and_unknown_still_fails(self):
+        proc = run_bench("--only", "scale", "nope")
+        assert proc.returncode == 1
+        assert "nope" in proc.stderr
+
+    def test_only_rejects_check_combination(self):
+        proc = run_bench("--only", "scale", "--check")
+        assert proc.returncode == 2
+        assert "--only cannot be combined" in proc.stderr
+
+    def test_only_rejects_write_baseline_combination(self):
+        proc = run_bench("--only", "scale", "--write-baseline")
+        assert proc.returncode == 2
+        assert "--only cannot be combined" in proc.stderr

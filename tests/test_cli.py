@@ -474,6 +474,58 @@ class TestDtnCommand:
         assert capture("p.jsonl", "--jobs", "2") == serial
 
 
+class TestScaleCommand:
+    QUICK_SWEEP = ["scale", "sweep", "--satellites", "48",
+                   "--epochs", "3"]
+
+    def test_sweep_prints_scale_table(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "churn_mean" in out and "digests" in out
+        rows = out.strip().splitlines()[1:]
+        assert len(rows) == 1
+        assert rows[0].split()[-1] == "ok"
+
+    def test_sweep_byte_identical_across_jobs_and_spatial(self, capsys):
+        assert main(self.QUICK_SWEEP) == 0
+        first = capsys.readouterr().out
+        assert main(self.QUICK_SWEEP + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == first
+        for mode in ("on", "off"):
+            assert main(self.QUICK_SWEEP + ["--spatial", mode]) == 0
+            assert capsys.readouterr().out == first
+
+    def test_no_digest_check_prints_placeholder(self, capsys):
+        assert main(self.QUICK_SWEEP + ["--no-digest-check"]) == 0
+        rows = capsys.readouterr().out.strip().splitlines()[1:]
+        assert rows[0].split()[-1] == "--"
+
+    def test_sweep_rejects_bad_options(self, capsys):
+        assert main(["scale", "sweep", "--satellites", "1"]) != 0
+        assert "bad scale sweep options" in capsys.readouterr().err
+
+    def test_requires_scale_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["scale"])
+
+    def test_sweep_trace_records_epochs(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        trace = tmp_path / "scale.jsonl"
+        assert main(self.QUICK_SWEEP + ["--trace", str(trace)]) == 0
+        records = read_jsonl(trace)
+        span_names = {
+            record["name"] for record in records
+            if record["type"] == "span"
+        }
+        assert "experiment.scale.sweep" in span_names
+        counter_names = {
+            record["name"] for record in records
+            if record["type"] == "counter"
+        }
+        assert "experiment.scale.epochs" in counter_names
+
+
 class TestReportCommand:
     def test_writes_markdown_report(self, tmp_path, capsys):
         output = tmp_path / "RESULTS.md"
