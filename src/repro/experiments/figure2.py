@@ -46,8 +46,12 @@ from repro.orbits.walker import iridium_like, random_constellation
 from repro.parallel import derive_seed, run_grid
 from repro.phy.rf import standard_sband_isl_terminal
 from repro.routing.csr import BACKEND_CSR, resolve_backend
+from repro.simulation.batched import ground_eci_track, merge_trial_epochs
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import SeriesCollector
+
+#: Engine names accepted by the figure-2(b) driver.
+ENGINES = ("scalar", "batched")
 
 #: The paper's fixed endpoints: a user in an underserved region and a
 #: gateway on another continent (exact coordinates are not given in the
@@ -266,13 +270,54 @@ def _figure_2b_point(args: tuple) -> Dict:
     seed, so results are identical at any job count.
     """
     (count, trials, epochs, point_seed, altitude_km,
-     user_site, gateway_site, backend) = args
+     user_site, gateway_site, backend, engine) = args
     rng = np.random.default_rng(point_seed)
     epoch_times = np.linspace(0.0, 86400.0, epochs, endpoint=False)
     recorder = _obs.active()
     samples: List[float] = []
     reached = 0
     total = 0
+
+    if engine == "batched":
+        # The pure tensor pipeline: draw every trial's constellation (same
+        # RNG call order as the scalar walk), stack all trials' epoch
+        # tensors along the epoch axis, and answer every (trial, epoch)
+        # relay measurement with ONE block-diagonal csgraph call.  No
+        # discrete-event engine runs; samples land in the same
+        # trial-major, epoch-ascending order the event loop would emit,
+        # and every float is bit-identical to the scalar engine's.
+        with recorder.span("experiment.figure2b.sweep_point",
+                           satellites=count, trials=trials, epochs=epochs,
+                           backend=backend, engine=engine):
+            trial_tensors = []
+            for _ in range(trials):
+                constellation = random_constellation(count, rng,
+                                                     altitude_km=altitude_km)
+                with recorder.phase("figure2b.propagate"):
+                    trial_tensors.append(
+                        constellation.positions_over(epoch_times)
+                    )
+            positions_merged = merge_trial_epochs(trial_tensors)
+            user_track = ground_eci_track(user_site, epoch_times)
+            gateway_track = ground_eci_track(gateway_site, epoch_times)
+            with recorder.phase("figure2b.relay_path"):
+                latencies = _relay_latency_batch_s(
+                    positions_merged,
+                    np.tile(user_track, (trials, 1)),
+                    np.tile(gateway_track, (trials, 1)),
+                    min_elevation_deg=0.0,
+                )
+            for value in latencies:
+                total += 1
+                latency = float(value)
+                if math.isfinite(latency):
+                    samples.append(latency * 1000.0)
+                    reached += 1
+                    if recorder.enabled:
+                        recorder.observe("figure2b.latency_ms",
+                                         latency * 1000.0, label=str(count))
+        return {"count": count, "samples": samples,
+                "reached": reached, "total": total}
 
     def sample_epoch(positions: np.ndarray, time_s: float,
                      precomputed_s: Optional[float] = None) -> None:
@@ -350,7 +395,8 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
                       user_site: GeodeticPoint = DEFAULT_USER_SITE,
                       gateway_site: GeodeticPoint = DEFAULT_GATEWAY_SITE,
                       jobs: int = 1,
-                      backend: Optional[str] = None) -> Dict:
+                      backend: Optional[str] = None,
+                      engine: str = "scalar") -> Dict:
     """Propagation latency vs constellation size (paper Figure 2(b)).
 
     For each satellite count, ``trials`` random constellations are drawn;
@@ -368,6 +414,14 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
     :func:`scipy.sparse.csgraph.dijkstra` call; ``"networkx"`` is the
     per-epoch reference); both produce bit-identical latencies.
 
+    ``engine`` selects how a sweep point executes: ``"scalar"`` walks
+    trials through the discrete-event engine (the oracle), ``"batched"``
+    flattens all of a point's trials and epochs into one tensor pipeline
+    — one merged ``(sats, trials * epochs, 3)`` position tensor, one
+    vectorized geometry pass, one block-diagonal shortest-path call —
+    and requires the CSR backend.  Both engines return bit-identical
+    results (the benchmark digest gate holds them together).
+
     Returns:
         ``{"series": [...rows...], "reachability": {count: fraction}}``
         where each series row is ``{"x", "mean", "p50", "p95", "n"}`` with
@@ -377,13 +431,20 @@ def figure_2b_latency(satellite_counts: Sequence[int] = tuple(
         raise ValueError(f"need at least one trial, got {trials}")
     if epochs < 1:
         raise ValueError(f"need at least one epoch, got {epochs}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     # Resolve the backend here so worker processes get a concrete name in
     # their args rather than relying on inheriting the parent's default.
     backend = resolve_backend(backend)
+    if engine == "batched" and backend != BACKEND_CSR:
+        raise ValueError(
+            "the batched engine needs the csr backend (scipy); "
+            f"resolved backend is {backend!r}"
+        )
     points = [
         (int(count), trials, epochs,
          derive_seed(seed, "figure2b", int(count)),
-         altitude_km, user_site, gateway_site, backend)
+         altitude_km, user_site, gateway_site, backend, engine)
         for count in satellite_counts
     ]
     results = run_grid(_figure_2b_point, points, jobs=jobs, label="figure2b")

@@ -285,11 +285,17 @@ class KeplerPropagator:
         )
         if self._raan_dot == 0.0 and self._argp_dot == 0.0:
             # Without J2 the orbital plane is inertially fixed: one
-            # rotation matrix serves every timestep.
+            # rotation matrix serves every timestep.  The transpose is
+            # materialized contiguously because matmul dispatches a
+            # different (last-ulp-different) kernel for strided views
+            # depending on T — the contiguous product is shape-
+            # independent, which keeps primed epoch grids bitwise equal
+            # to per-epoch solves.
             rot = _perifocal_to_eci_matrix(
                 el.inclination_rad, el.raan_rad, el.arg_perigee_rad
             )
-            return pos_pf @ rot.T, vel_pf @ rot.T
+            rot_t = np.ascontiguousarray(rot.T)
+            return pos_pf @ rot_t, vel_pf @ rot_t
         raan = el.raan_rad + self._raan_dot * dt
         argp = el.arg_perigee_rad + self._argp_dot * dt
         rot = _perifocal_to_eci_matrices(el.inclination_rad, raan, argp)
@@ -336,11 +342,19 @@ def batch_states(propagators: Sequence[KeplerPropagator],
     """ECI states for a whole fleet over a whole time grid at once.
 
     The heart of the vectorized sweep path: all satellites x all
-    timesteps in broadcast numpy operations.  Propagators sharing nothing
-    but code still vectorize over time individually; the common LEO case
-    (every satellite circular at the same altitude, as Walker generators
-    emit) additionally shares one eccentricity/semi-major-axis pass per
-    satellite.
+    timesteps in broadcast numpy operations.  Non-J2 fleets (the default
+    everywhere in the repo) take a fully flattened ``(N, T)`` tensor
+    solve — one Kepler iteration, one trig pass, and one batched frame
+    rotation for the whole fleet, with no per-satellite Python loop.
+    J2-perturbed propagators fall back to the per-satellite vectorized
+    path.
+
+    The flat path is bitwise identical to per-satellite
+    :meth:`KeplerPropagator.states_at` calls: every elementwise
+    operation is shape-independent, the frame rotation is the same
+    stacked ``matmul``, and satellites are grouped by eccentricity so
+    the Newton solve sees the same per-element update sequence
+    (``tests/orbits`` pins this equality as a regression test).
 
     Args:
         propagators: One propagator per satellite (N of them).
@@ -353,6 +367,10 @@ def batch_states(propagators: Sequence[KeplerPropagator],
     """
     times = _normalize_times(times_s)
     count = len(propagators)
+    if count and times.shape[0] and all(
+        p._raan_dot == 0.0 and p._argp_dot == 0.0 for p in propagators
+    ):
+        return _batch_states_flat(propagators, times)
     positions = np.empty((count, times.shape[0], 3), dtype=float)
     velocities = np.empty((count, times.shape[0], 3), dtype=float)
     for index, propagator in enumerate(propagators):
@@ -360,6 +378,65 @@ def batch_states(propagators: Sequence[KeplerPropagator],
         positions[index] = pos
         velocities[index] = vel
     return positions, velocities
+
+
+def _batch_states_flat(propagators: Sequence[KeplerPropagator],
+                       times: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened ``(N, T)`` tensor solve for non-J2 fleets.
+
+    Replicates the exact operation sequence of
+    :meth:`KeplerPropagator.states_at` across the whole fleet so the
+    result is bitwise identical to the per-satellite loop.
+    """
+    elements = [p.elements for p in propagators]
+    epoch = np.array([el.epoch_s for el in elements])
+    m0 = np.array([el.mean_anomaly_rad for el in elements])
+    mean_dot = np.array([p._mean_dot for p in propagators])
+    ecc = np.array([el.eccentricity for el in elements])
+    a = np.array([el.semi_major_axis_km for el in elements])
+
+    dt = times[None, :] - epoch[:, None]
+    mean_anomaly = m0[:, None] + mean_dot[:, None] * dt
+
+    # Group by eccentricity (one group for the common all-circular
+    # Walker case) so each group runs the same masked Newton iteration
+    # the per-satellite solver applies.
+    ecc_anom = np.empty_like(mean_anomaly)
+    nu = np.empty_like(mean_anomaly)
+    for e_value in np.unique(ecc):
+        rows = ecc == e_value
+        e_float = float(e_value)
+        ecc_anom[rows] = solve_kepler_array(mean_anomaly[rows], e_float)
+        nu[rows] = true_anomaly_from_eccentric_array(ecc_anom[rows], e_float)
+
+    r = a[:, None] * (1.0 - ecc[:, None] * np.cos(ecc_anom))
+    cos_nu, sin_nu = np.cos(nu), np.sin(nu)
+    zeros = np.zeros_like(r)
+    pos_pf = np.stack([r * cos_nu, r * sin_nu, zeros], axis=-1)
+    # v_factor per satellite with the scalar path's exact float ops.
+    v_factor = np.array([
+        math.sqrt(
+            EARTH_MU_KM3_S2
+            / (el.semi_major_axis_km * (1.0 - el.eccentricity * el.eccentricity))
+        )
+        for el in elements
+    ])[:, None]
+    vel_pf = np.stack(
+        [-v_factor * sin_nu, v_factor * (ecc[:, None] + cos_nu), zeros],
+        axis=-1,
+    )
+    rots = np.stack([
+        _perifocal_to_eci_matrix(
+            el.inclination_rad, el.raan_rad, el.arg_perigee_rad
+        )
+        for el in elements
+    ])
+    # Contiguous transpose: matmul over a strided view picks a different
+    # kernel (and rounds the last ulp differently) depending on T; the
+    # contiguous product is shape-independent, so a whole primed grid is
+    # bitwise equal to T separate single-epoch solves.
+    rots_t = np.ascontiguousarray(rots.transpose(0, 2, 1))
+    return np.matmul(pos_pf, rots_t), np.matmul(vel_pf, rots_t)
 
 
 def batch_positions(propagators: Sequence[KeplerPropagator],

@@ -24,15 +24,20 @@ from repro.phy.antennas import (
     half_power_beamwidth_deg,
 )
 from repro.phy.bands import Band, BAND_CATALOG
-from repro.phy.rf import RFTerminal, rf_link_budget
+from repro.phy.rf import RFTerminal, rf_link_budget, rf_link_budget_arrays
 from repro.phy.optical import (
     OpticalTerminal,
     PATController,
     PATState,
     optical_link_budget,
+    optical_link_budget_arrays,
     pointing_loss_db,
 )
-from repro.phy.linkbudget import LinkBudget, shannon_capacity_bps
+from repro.phy.linkbudget import (
+    LinkBudget,
+    LinkBudgetArrays,
+    shannon_capacity_bps,
+)
 from repro.phy.doppler import (
     doppler_shift_hz,
     max_doppler_over_pass,
@@ -44,7 +49,13 @@ from repro.phy.interference import (
     downlink_sinr_db,
     interference_pairs,
 )
-from repro.phy.modulation import ModCod, MODCOD_TABLE, select_modcod
+from repro.phy.modulation import (
+    ModCod,
+    MODCOD_TABLE,
+    achievable_rate_bps,
+    achievable_rate_bps_array,
+    select_modcod,
+)
 
 __all__ = [
     "atmospheric_loss_db",
@@ -58,12 +69,15 @@ __all__ = [
     "BAND_CATALOG",
     "RFTerminal",
     "rf_link_budget",
+    "rf_link_budget_arrays",
     "OpticalTerminal",
     "PATController",
     "PATState",
     "optical_link_budget",
+    "optical_link_budget_arrays",
     "pointing_loss_db",
     "LinkBudget",
+    "LinkBudgetArrays",
     "shannon_capacity_bps",
     "doppler_shift_hz",
     "max_doppler_over_pass",
@@ -74,5 +88,7 @@ __all__ = [
     "interference_pairs",
     "ModCod",
     "MODCOD_TABLE",
+    "achievable_rate_bps",
+    "achievable_rate_bps_array",
     "select_modcod",
 ]

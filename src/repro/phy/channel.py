@@ -11,31 +11,39 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.orbits.constants import BOLTZMANN_J_K, SPEED_OF_LIGHT_M_S
 
 
-def free_space_path_loss_db(distance_km: float, frequency_hz: float) -> float:
+def free_space_path_loss_db(distance_km, frequency_hz: float):
     """Friis free-space path loss in dB.
 
+    Polymorphic over the distance: a scalar yields a scalar loss, an
+    ndarray of slant ranges yields an elementwise loss array.  Both run
+    through the same numpy ufuncs, so the scalar and batched results
+    are bitwise identical element for element (numpy ufuncs round
+    independently of array shape).
+
     Args:
-        distance_km: Link slant range in kilometres (must be positive).
+        distance_km: Link slant range(s) in kilometres (must be positive).
         frequency_hz: Carrier frequency in hertz.
 
     Returns:
-        Path loss in dB (positive number).
+        Path loss in dB (positive), scalar or array matching the input.
     """
-    if distance_km <= 0.0:
+    if np.any(np.asarray(distance_km) <= 0.0):
         raise ValueError(f"distance must be positive, got {distance_km}")
     if frequency_hz <= 0.0:
         raise ValueError(f"frequency must be positive, got {frequency_hz}")
     distance_m = distance_km * 1000.0
-    return 20.0 * math.log10(
+    return 20.0 * np.log10(
         4.0 * math.pi * distance_m * frequency_hz / SPEED_OF_LIGHT_M_S
     )
 
 
-def atmospheric_loss_db(frequency_hz: float, elevation_rad: float,
-                        zenith_loss_db: float = None) -> float:
+def atmospheric_loss_db(frequency_hz: float, elevation_rad,
+                        zenith_loss_db: float = None):
     """Gaseous atmospheric attenuation for a ground-to-space path, dB.
 
     Uses a flat zenith attenuation scaled by the cosecant of the elevation
@@ -43,10 +51,13 @@ def atmospheric_loss_db(frequency_hz: float, elevation_rad: float,
     zenith losses roughly matching ITU-R P.676 at sea level:
     ~0.03 dB below 2 GHz, ~0.1 dB at Ku, ~0.3 dB at Ka.
 
+    Polymorphic over the elevation: scalar in, scalar out; ndarray in,
+    elementwise array out (bitwise identical to the scalar path).
+
     Args:
         frequency_hz: Carrier frequency.
-        elevation_rad: Ground-station elevation angle; clamped to >= 5 deg
-            to keep the cosecant bounded.
+        elevation_rad: Ground-station elevation angle(s); clamped to
+            >= 5 deg to keep the cosecant bounded.
         zenith_loss_db: Override the zenith attenuation.
 
     Returns:
@@ -63,23 +74,28 @@ def atmospheric_loss_db(frequency_hz: float, elevation_rad: float,
         else:
             zenith_loss_db = 1.0
     min_elevation = math.radians(5.0)
-    elevation = max(elevation_rad, min_elevation)
-    return zenith_loss_db / math.sin(elevation)
+    elevation = np.maximum(elevation_rad, min_elevation)
+    return zenith_loss_db / np.sin(elevation)
 
 
-def rain_attenuation_db(frequency_hz: float, elevation_rad: float,
+def rain_attenuation_db(frequency_hz: float, elevation_rad,
                         rain_rate_mm_h: float = 0.0,
-                        rain_height_km: float = 4.0) -> float:
+                        rain_height_km: float = 4.0):
     """Rain attenuation along a slant path, dB (simplified ITU-R P.838 form).
 
     Specific attenuation is ``gamma = k * R^alpha`` dB/km with
     frequency-dependent ``k`` and ``alpha`` fitted to the published tables,
     applied over the slant path through the rain layer.
 
+    Polymorphic over the elevation: scalar in, scalar out; ndarray in,
+    elementwise array out (the specific attenuation ``gamma`` depends
+    only on the scalar frequency and rain rate, so it is computed once
+    either way).
+
     Args:
         frequency_hz: Carrier frequency; attenuation is negligible below
             ~5 GHz and the function returns 0 there.
-        elevation_rad: Elevation angle (clamped to >= 5 degrees).
+        elevation_rad: Elevation angle(s) (clamped to >= 5 degrees).
         rain_rate_mm_h: Point rain rate; 0 means clear sky.
         rain_height_km: Effective rain layer height.
 
@@ -88,17 +104,18 @@ def rain_attenuation_db(frequency_hz: float, elevation_rad: float,
     """
     if rain_rate_mm_h < 0.0:
         raise ValueError(f"rain rate must be >= 0, got {rain_rate_mm_h}")
+    is_array = isinstance(elevation_rad, np.ndarray)
     if rain_rate_mm_h == 0.0:
-        return 0.0
+        return np.zeros_like(elevation_rad) if is_array else 0.0
     ghz = frequency_hz / 1e9
     if ghz < 5.0:
-        return 0.0
+        return np.zeros_like(elevation_rad) if is_array else 0.0
     # Crude power-law fits to the ITU k/alpha tables (horizontal pol.).
     k = 4.21e-5 * ghz**2.42 if ghz < 54.0 else 4.09e-2 * ghz**0.699
     alpha = 1.41 * ghz**-0.0779 if ghz < 25.0 else 2.63 * ghz**-0.272
     gamma_db_km = k * rain_rate_mm_h**alpha
-    elevation = max(elevation_rad, math.radians(5.0))
-    slant_path_km = rain_height_km / math.sin(elevation)
+    elevation = np.maximum(elevation_rad, math.radians(5.0))
+    slant_path_km = rain_height_km / np.sin(elevation)
     return gamma_db_km * slant_path_km
 
 

@@ -1,13 +1,61 @@
-"""Link-budget result type and capacity estimation."""
+"""Link-budget result types and capacity estimation.
+
+Two containers share one set of derived-quantity formulas:
+
+* :class:`LinkBudget` — one point-to-point link (scalar fields);
+* :class:`LinkBudgetArrays` — a whole batch of links sharing terminals
+  (``path_loss_db``/``extra_loss_db`` are ndarrays over the edge axis).
+
+Because every derived quantity is an elementwise numpy expression and
+numpy ufuncs round independently of array shape, the array container is
+bitwise identical, edge for edge, to evaluating :class:`LinkBudget` in a
+Python loop — the property tests under ``tests/properties`` pin this.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
+
+
+class _LinkBudgetMath:
+    """Derived link quantities shared by the scalar and array budgets."""
+
+    @property
+    def received_power_dbw(self):
+        return (
+            self.tx_power_dbw
+            + self.tx_gain_dbi
+            + self.rx_gain_dbi
+            - self.path_loss_db
+            - self.extra_loss_db
+        )
+
+    @property
+    def snr_db(self):
+        return self.received_power_dbw - self.noise_power_dbw
+
+    @property
+    def snr_linear(self):
+        return _db_to_linear(self.snr_db)
+
+    @property
+    def shannon_capacity_bps(self):
+        """Shannon capacity ``B log2(1 + SNR)`` over the channel bandwidth."""
+        return shannon_capacity_bps(self.bandwidth_hz, self.snr_db)
+
+    def closes(self, required_snr_db: float = 0.0,
+               margin_db: float = 3.0):
+        """True when the link closes with the given SNR requirement + margin.
+
+        Elementwise (a boolean array) on :class:`LinkBudgetArrays`.
+        """
+        return self.snr_db >= required_snr_db + margin_db
 
 
 @dataclass(frozen=True)
-class LinkBudget:
+class LinkBudget(_LinkBudgetMath):
     """The outcome of a point-to-point link-budget computation.
 
     Attributes:
@@ -29,43 +77,68 @@ class LinkBudget:
     noise_power_dbw: float
     bandwidth_hz: float
 
-    @property
-    def received_power_dbw(self) -> float:
-        return (
-            self.tx_power_dbw
-            + self.tx_gain_dbi
-            + self.rx_gain_dbi
-            - self.path_loss_db
-            - self.extra_loss_db
+
+@dataclass(frozen=True)
+class LinkBudgetArrays(_LinkBudgetMath):
+    """Link budgets for a batch of edges sharing one terminal pair.
+
+    The terminal-side quantities (powers, gains, noise, bandwidth) are
+    scalars; the geometry-side quantities (``path_loss_db``, and
+    ``extra_loss_db`` when it includes elevation-dependent terms) are
+    arrays over the edge axis.  All derived properties broadcast.
+    """
+
+    tx_power_dbw: float
+    tx_gain_dbi: float
+    rx_gain_dbi: float
+    path_loss_db: np.ndarray
+    extra_loss_db: np.ndarray
+    noise_power_dbw: float
+    bandwidth_hz: float
+
+    def __len__(self) -> int:
+        return int(np.broadcast(self.path_loss_db, self.extra_loss_db).size)
+
+    def budget_at(self, index: int) -> LinkBudget:
+        """The scalar :class:`LinkBudget` of one edge in the batch."""
+        path_loss = np.broadcast_to(self.path_loss_db, (len(self),))
+        extra = np.broadcast_to(self.extra_loss_db, (len(self),))
+        return LinkBudget(
+            tx_power_dbw=self.tx_power_dbw,
+            tx_gain_dbi=self.tx_gain_dbi,
+            rx_gain_dbi=self.rx_gain_dbi,
+            path_loss_db=float(path_loss[index]),
+            extra_loss_db=float(extra[index]),
+            noise_power_dbw=self.noise_power_dbw,
+            bandwidth_hz=self.bandwidth_hz,
         )
 
-    @property
-    def snr_db(self) -> float:
-        return self.received_power_dbw - self.noise_power_dbw
 
-    @property
-    def snr_linear(self) -> float:
-        return 10.0 ** (self.snr_db / 10.0)
+def _db_to_linear(value_db):
+    """``10^(x/10)`` through the array power ufunc for any input shape.
 
-    @property
-    def shannon_capacity_bps(self) -> float:
-        """Shannon capacity ``B log2(1 + SNR)`` over the channel bandwidth."""
-        return shannon_capacity_bps(self.bandwidth_hz, self.snr_db)
-
-    def closes(self, required_snr_db: float = 0.0,
-               margin_db: float = 3.0) -> bool:
-        """True when the link closes with the given SNR requirement + margin."""
-        return self.snr_db >= required_snr_db + margin_db
+    Numpy's scalar power kernel rounds the last ulp differently from its
+    array kernel, so scalars are promoted to a one-element array first —
+    array power is shape-independent, which keeps scalar and batched
+    budgets bitwise identical.
+    """
+    if isinstance(value_db, np.ndarray):
+        return 10.0 ** (value_db / 10.0)
+    return float((10.0 ** (np.asarray([value_db], dtype=float) / 10.0))[0])
 
 
-def shannon_capacity_bps(bandwidth_hz: float, snr_db: float) -> float:
+def shannon_capacity_bps(bandwidth_hz: float, snr_db):
     """Shannon channel capacity in bits per second.
+
+    Polymorphic over the SNR: scalar in, scalar out; ndarray in,
+    elementwise capacity array out (bitwise identical per element).
 
     Args:
         bandwidth_hz: Channel bandwidth (must be positive).
-        snr_db: Signal-to-noise ratio in dB; very low SNR yields ~0 capacity.
+        snr_db: Signal-to-noise ratio(s) in dB; very low SNR yields ~0
+            capacity.
     """
     if bandwidth_hz <= 0.0:
         raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
-    snr = 10.0 ** (snr_db / 10.0)
-    return bandwidth_hz * math.log2(1.0 + snr)
+    snr = _db_to_linear(snr_db)
+    return bandwidth_hz * np.log2(1.0 + snr)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class ModCod:
@@ -78,3 +80,30 @@ def achievable_rate_bps(snr_db: float, bandwidth_hz: float,
     if modcod is None:
         return 0.0
     return modcod.rate_bps(bandwidth_hz)
+
+
+# Thresholds ascending with the best (running-max) spectral efficiency at
+# each threshold, so a single searchsorted answers "highest-rate MODCOD
+# that closes" for a whole SNR array.
+_SORTED_TABLE = sorted(MODCOD_TABLE, key=lambda m: m.required_snr_db)
+_REQUIRED_SNR = np.array([m.required_snr_db for m in _SORTED_TABLE])
+_BEST_EFFICIENCY = np.maximum.accumulate(
+    np.array([m.spectral_efficiency_bps_hz for m in _SORTED_TABLE])
+)
+
+
+def achievable_rate_bps_array(snr_db: np.ndarray, bandwidth_hz: float,
+                              margin_db: float = 1.0) -> np.ndarray:
+    """Vectorized :func:`achievable_rate_bps` over an SNR array.
+
+    The table lookup involves only comparisons and one multiply, so the
+    result equals the scalar loop exactly (no transcendental rounding).
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    available = np.asarray(snr_db, dtype=float) - margin_db
+    index = np.searchsorted(_REQUIRED_SNR, available, side="right")
+    efficiency = np.where(
+        index > 0, _BEST_EFFICIENCY[np.maximum(index - 1, 0)], 0.0
+    )
+    return efficiency * bandwidth_hz

@@ -14,8 +14,10 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.phy.channel import free_space_path_loss_db, noise_power_dbw
-from repro.phy.linkbudget import LinkBudget
+from repro.phy.linkbudget import LinkBudget, LinkBudgetArrays
 
 #: Paper-cited terminal economics (ConLCT80 datasheet via satsearch).
 LASER_TERMINAL_COST_USD = 500_000.0
@@ -120,6 +122,31 @@ def optical_link_budget(tx: OpticalTerminal, rx: OpticalTerminal,
         rx_gain_dbi=rx.rx_gain_dbi,
         path_loss_db=path_loss,
         extra_loss_db=extra,
+        noise_power_dbw=noise_power_dbw(bandwidth, 1000.0),
+        bandwidth_hz=bandwidth,
+    )
+
+
+def optical_link_budget_arrays(tx: OpticalTerminal, rx: OpticalTerminal,
+                               distances_km: np.ndarray,
+                               tracking: bool = True) -> LinkBudgetArrays:
+    """Batched laser link budgets over an array of slant ranges.
+
+    One vectorized pass over the edge axis; bitwise identical, edge for
+    edge, to calling :func:`optical_link_budget` per distance (the
+    per-edge terms run through the same shape-independent ufuncs).
+    """
+    distances = np.asarray(distances_km, dtype=float)
+    path_loss = free_space_path_loss_db(distances, tx.frequency_hz)
+    jitter = tx.pointing_jitter_urad if tracking else tx.beam_divergence_urad * 2.0
+    extra = pointing_loss_db(jitter, tx.beam_divergence_urad) + 3.0  # 3 dB impl.
+    bandwidth = min(tx.data_bandwidth_hz, rx.data_bandwidth_hz)
+    return LinkBudgetArrays(
+        tx_power_dbw=tx.tx_power_dbw,
+        tx_gain_dbi=tx.tx_gain_dbi,
+        rx_gain_dbi=rx.rx_gain_dbi,
+        path_loss_db=path_loss,
+        extra_loss_db=np.full_like(path_loss, extra),
         noise_power_dbw=noise_power_dbw(bandwidth, 1000.0),
         bandwidth_hz=bandwidth,
     )

@@ -343,6 +343,57 @@ class CsrAdjacency:
             self._sp_cache[source] = cached
         return cached
 
+    def append_leaf_arrays(self, neighbor_indices: np.ndarray,
+                           weights: np.ndarray,
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR triple for this adjacency plus one appended leaf node.
+
+        The leaf takes index ``node_count`` — the maximum index — so its
+        incoming entries land at the *end* of each neighbor row and its
+        own row sits last: exactly the arrays
+        :meth:`from_graph` would produce for the same graph with the
+        leaf added after every existing node (the lexsorted ``(row,
+        col)`` layout is preserved without re-sorting anything).  This
+        is the vectorized augmentation step for user-terminal probes:
+        base snapshot compiled once, one ``np.insert`` per probe batch.
+
+        Args:
+            neighbor_indices: Indices of the leaf's neighbors (need not
+                be sorted; duplicates are a caller bug).
+            weights: Edge weight per neighbor, aligned with
+                ``neighbor_indices``.
+
+        Returns:
+            ``(indptr, indices, data)`` arrays over ``node_count + 1``
+            nodes; the receiver's own arrays are never mutated.
+        """
+        neighbors = np.asarray(neighbor_indices, dtype=np.int64)
+        weight_arr = np.asarray(weights, dtype=np.float64)
+        order = np.argsort(neighbors, kind="stable")
+        neighbors = neighbors[order]
+        weight_arr = weight_arr[order]
+        leaf = self.node_count
+        # Entries toward the leaf append at each neighbor row's end.
+        insert_at = self.indptr[neighbors + 1]
+        indices = np.insert(self.indices, insert_at,
+                            np.full(neighbors.shape[0], leaf, dtype=np.int32))
+        data = np.insert(self.data, insert_at, weight_arr)
+        # The leaf's own row (sorted neighbor indices) goes last.
+        indices = np.concatenate(
+            [indices, neighbors.astype(np.int32, copy=False)]
+        )
+        data = np.concatenate([data, weight_arr])
+        counts = np.bincount(neighbors, minlength=leaf)
+        indptr = np.empty(leaf + 2, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(
+            np.concatenate([
+                np.diff(self.indptr) + counts, [neighbors.shape[0]]
+            ]),
+            out=indptr[1:],
+        )
+        return indptr, indices, data
+
 
 class ShortestPaths:
     """Distance + predecessor matrices with lazy path reconstruction.
@@ -422,6 +473,70 @@ class ShortestPaths:
         if finite[source_idx]:
             count -= 1
         return count
+
+
+def block_diagonal_dijkstra(
+    blocks: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    sources: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One multi-source Dijkstra over disjoint CSR blocks.
+
+    Stacks the given ``(indptr, indices, data)`` triples into one
+    block-diagonal matrix and runs a single
+    ``scipy.sparse.csgraph.dijkstra`` with one source per block.  Because
+    the blocks share no edges and every block's node indices are offset
+    uniformly, each source's search never leaves its own block and its
+    heap tie-ordering matches a standalone single-source run on that
+    block alone — distances *and predecessors* per block are identical
+    to ``len(blocks)`` separate calls, at one C-call's cost.
+
+    Args:
+        blocks: CSR triples (e.g. from
+            :meth:`CsrAdjacency.append_leaf_arrays`); blocks may have
+            different node counts.
+        sources: Block-local source index, one per block.
+
+    Returns:
+        ``(dist, pred, offsets)``: the ``(len(blocks), total_nodes)``
+        distance and predecessor matrices (row ``k`` is block ``k``'s
+        source; columns are global indices) and the per-block node
+        offsets.  Map a block-local node ``j`` of block ``k`` to global
+        column ``offsets[k] + j``; predecessors are global indices with
+        :data:`NO_PREDECESSOR` outside the tree.
+    """
+    if not HAVE_SCIPY:
+        raise RuntimeError("scipy unavailable; CSR backend disabled")
+    if len(blocks) != len(sources):
+        raise ValueError(
+            f"need one source per block, got {len(sources)} sources "
+            f"for {len(blocks)} blocks"
+        )
+    if not blocks:
+        return (np.empty((0, 0)), np.empty((0, 0), dtype=np.int32),
+                np.empty(0, dtype=np.int64))
+    node_counts = np.array([b[0].shape[0] - 1 for b in blocks],
+                           dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(node_counts[:-1])])
+    total = int(node_counts.sum())
+    indptr_parts = [blocks[0][0]]
+    indptr_parts.extend(
+        block[0][1:] + int(end)
+        for block, end in zip(
+            blocks[1:], np.cumsum([b[0][-1] for b in blocks[:-1]])
+        )
+    )
+    indptr = np.concatenate(indptr_parts)
+    indices = np.concatenate([
+        block[1].astype(np.int64, copy=False) + offset
+        for block, offset in zip(blocks, offsets)
+    ])
+    data = np.concatenate([block[2] for block in blocks])
+    matrix = _scipy_csr_matrix((data, indices, indptr), shape=(total, total))
+    source_idx = offsets + np.asarray(sources, dtype=np.int64)
+    dist, pred = _scipy_dijkstra(
+        matrix, directed=True, indices=source_idx, return_predecessors=True,
+    )
+    return np.atleast_2d(dist), np.atleast_2d(pred), offsets
 
 
 def shortest_path_csr(graph, source: Hashable, target: Hashable,

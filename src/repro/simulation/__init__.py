@@ -7,6 +7,15 @@ patterns"); metric collectors aggregate latency/coverage/throughput
 series for the experiment drivers.
 """
 
+from repro.simulation.batched import (
+    TransitionMasks,
+    contact_mask,
+    contact_spans,
+    epoch_position_tensor,
+    ground_eci_track,
+    merge_trial_epochs,
+    transition_masks,
+)
 from repro.simulation.engine import Event, SimulationEngine
 from repro.simulation.traffic import (
     FlowSpec,
@@ -41,6 +50,13 @@ from repro.simulation.config import (
 )
 
 __all__ = [
+    "TransitionMasks",
+    "contact_mask",
+    "contact_spans",
+    "epoch_position_tensor",
+    "ground_eci_track",
+    "merge_trial_epochs",
+    "transition_masks",
     "Event",
     "SimulationEngine",
     "FlowSpec",

@@ -124,6 +124,45 @@ class TestSnapshotCache:
         assert network.snapshot(400.0, users=[user]) is first
 
 
+class TestPrimedPositions:
+    """``prime_positions`` must be a pure speedup, bit for bit.
+
+    The batched engine primes whole epoch grids up front; the digest
+    gates only hold if a primed column carries exactly the same float64
+    bits as a lazy single-epoch solve (grid-width-independent Kepler
+    batch + contiguous-matrix frame rotation; see
+    ``OpenSpaceNetwork.prime_positions``).
+    """
+
+    TIMES = [0.0, 450.0, 900.0, 1350.0]
+
+    def test_primed_positions_bitwise_equal_lazy(self):
+        import numpy as np
+
+        primed = _make_network()
+        assert primed.prime_positions(self.TIMES) == len(self.TIMES)
+        cold = _make_network()
+        for t in self.TIMES:
+            by_id = primed.satellite_positions(t)
+            lazy = cold.satellite_positions(t)
+            assert by_id.keys() == lazy.keys()
+            for sat_id, position in by_id.items():
+                assert np.array_equal(position, lazy[sat_id])
+
+    def test_primed_snapshots_digest_equal_lazy(self):
+        primed = _make_network(snapshot_cache_size=0)
+        primed.prime_positions(self.TIMES)
+        cold = _make_network(snapshot_cache_size=0)
+        for t in self.TIMES:
+            assert primed.snapshot(t).digest() == cold.snapshot(t).digest()
+
+    def test_clear_primed_positions(self):
+        net = _make_network()
+        net.prime_positions(self.TIMES)
+        net.clear_primed_positions()
+        assert net.prime_positions([]) == 0
+
+
 class TestRefreshEdgeWeights:
     def test_refresh_recomputes_without_rebuilding(self, network):
         snap = network.snapshot(500.0)

@@ -159,3 +159,36 @@ class TestRelayBackendEquality:
         nx_result = figure_2b_latency(**kwargs, backend="networkx")
         assert (json.dumps(csr_result, sort_keys=True)
                 == json.dumps(nx_result, sort_keys=True))
+
+
+class TestEngineEquality:
+    """`--engine batched` is a pure speedup: identical sweep output."""
+
+    def test_sweep_output_identical_across_engines(self):
+        pytest.importorskip("scipy")
+        import json
+
+        kwargs = dict(satellite_counts=[4, 16, 30], trials=2, epochs=3,
+                      seed=13)
+        scalar = figure_2b_latency(**kwargs, engine="scalar")
+        batched = figure_2b_latency(**kwargs, engine="batched")
+        assert (json.dumps(scalar, sort_keys=True)
+                == json.dumps(batched, sort_keys=True))
+
+    def test_batched_engine_identical_across_job_counts(self):
+        pytest.importorskip("scipy")
+        kwargs = dict(satellite_counts=[4, 16], trials=2, epochs=3,
+                      seed=13, engine="batched")
+        assert (figure_2b_latency(**kwargs, jobs=1)
+                == figure_2b_latency(**kwargs, jobs=2))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            figure_2b_latency(satellite_counts=[4], trials=1, epochs=2,
+                              engine="turbo")
+
+    def test_batched_engine_requires_csr_backend(self):
+        pytest.importorskip("scipy")
+        with pytest.raises(ValueError, match="batched"):
+            figure_2b_latency(satellite_counts=[4], trials=1, epochs=2,
+                              engine="batched", backend="networkx")

@@ -113,3 +113,41 @@ class TestDynamicResilienceSweep:
             static[0]["mean_availability"])
         assert dynamic[0]["flows_rerouted"] == 0
         assert dynamic[0]["flows_dropped"] == 0
+
+
+class TestEngineEquality:
+    """`--engine batched` probes must leave every row untouched."""
+
+    KWARGS = dict(mtbf_hours=(2.0,), mttr_s=600.0, horizon_s=1800.0,
+                  epochs=3, seed=7)
+
+    def test_sweep_rows_identical_across_engines(self):
+        pytest.importorskip("scipy")
+        assert (dynamic_resilience_sweep(**self.KWARGS, engine="scalar")
+                == dynamic_resilience_sweep(**self.KWARGS, engine="batched"))
+
+    def test_scenario_identical_across_engines(self, small_network, users):
+        pytest.importorskip("scipy")
+        satellite_ids = [
+            s.satellite_id for s in small_network.satellites
+        ]
+        schedule = satellite_mtbf_schedule(
+            satellite_ids, 1200.0, mtbf_s=1800.0, mttr_s=300.0, seed=3)
+
+        def run(engine):
+            result = run_fault_scenario(
+                small_network, schedule, users, horizon_s=1200.0,
+                epochs=4, engine=engine)
+            return {k: v for k, v in result.items()
+                    if not k.startswith("_")}
+
+        assert run("scalar") == run("batched")
+
+    def test_unknown_engine_rejected(self, small_network, users):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_fault_scenario(small_network, FaultSchedule(events=[]),
+                               users, horizon_s=600.0, epochs=2,
+                               engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            dynamic_resilience_sweep(mtbf_hours=(2.0,), horizon_s=600.0,
+                                     epochs=2, engine="warp")

@@ -195,3 +195,54 @@ class TestShapeContracts:
     def test_solve_kepler_array_preserves_input_shape(self):
         grid = np.linspace(0.0, 6.0, 12).reshape(3, 4)
         assert solve_kepler_array(grid, 0.1).shape == (3, 4)
+
+
+class TestBitwiseShapeIndependence:
+    """Grid width must not change a single bit of any solved state.
+
+    The batched epoch engine concatenates trials and primes whole grids,
+    so the same (satellite, time) pair gets solved through 1-wide,
+    T-wide, and fleet-flattened paths — all of which must agree exactly
+    (elementwise ufuncs are exactly rounded and the frame rotation runs
+    through a materialized-contiguous matrix; see ``_batch_states_flat``).
+    """
+
+    def _props(self, count=5):
+        return [
+            KeplerPropagator(OrbitalElements.circular(
+                500.0 + 60.0 * i, inclination_rad=0.3 + 0.2 * i,
+                raan_rad=0.5 * i, mean_anomaly_rad=0.9 * i,
+            ))
+            for i in range(count)
+        ]
+
+    def test_grid_solve_bitwise_equals_per_time(self):
+        times = np.linspace(0.0, 7200.0, 9)
+        for prop in self._props():
+            grid = prop.positions_at(times)
+            for k, t in enumerate(times):
+                assert np.array_equal(grid[k], prop.positions_at(float(t))[0])
+
+    def test_batch_positions_bitwise_equals_per_satellite(self):
+        props = self._props()
+        times = np.linspace(0.0, 7200.0, 6)
+        batched = batch_positions(props, times)
+        for i, prop in enumerate(props):
+            assert np.array_equal(batched[i], prop.positions_at(times))
+
+    def test_batch_positions_bitwise_independent_of_fleet_size(self):
+        # The flat path lumps every (satellite, time) pair into one array;
+        # slicing a bigger fleet must reproduce a smaller one's bits.
+        props = self._props(7)
+        times = np.linspace(0.0, 3600.0, 4)
+        full = batch_positions(props, times)
+        subset = batch_positions(props[:3], times)
+        assert np.array_equal(full[:3], subset)
+
+    def test_states_at_velocities_bitwise_stable(self):
+        prop = self._props(1)[0]
+        times = np.linspace(0.0, 5400.0, 5)
+        _, velocities = prop.states_at(times)
+        for k, t in enumerate(times):
+            _, single = prop.states_at(float(t))
+            assert np.array_equal(velocities[k], single[0])

@@ -48,3 +48,32 @@ class TestOnlyFlag:
         proc = run_bench("--only", "scale", "--write-baseline")
         assert proc.returncode == 2
         assert "--only cannot be combined" in proc.stderr
+
+
+class TestRepeatFlag:
+    def test_repeat_must_be_positive(self):
+        proc = run_bench("--repeat", "0", "--only", "scale")
+        assert proc.returncode == 2
+        assert "--repeat must be >= 1" in proc.stderr
+
+    def test_negative_repeat_rejected(self):
+        proc = run_bench("--repeat", "-3", "--only", "scale")
+        assert proc.returncode == 2
+        assert "--repeat must be >= 1" in proc.stderr
+
+
+class TestSectionCases:
+    def test_error_catalog_lists_digest_sections(self):
+        # `--only engine_equivalence` is how the CI smoke matrix pairs a
+        # timed case with its digest gate, so the catalog in the error
+        # message must advertise the section names too.
+        proc = run_bench("--only", "bogus-case")
+        assert proc.returncode == 1
+        assert "engine_equivalence" in proc.stderr
+        assert "backend_equivalence" in proc.stderr
+        assert "determinism" in proc.stderr
+
+    def test_unknown_name_beside_section_still_fails(self):
+        proc = run_bench("--only", "engine_equivalence", "bogus-case")
+        assert proc.returncode == 1
+        assert "bogus-case" in proc.stderr

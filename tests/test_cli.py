@@ -29,6 +29,26 @@ class TestFigureCommands:
         assert "reachability" in out
         assert "40" in out
 
+    def test_figure2b_engine_flag_output_identical(self, capsys):
+        pytest.importorskip("scipy")
+        args = ["figure2b", "--counts", "10", "25", "--trials", "2",
+                "--epochs", "3"]
+        assert main(args + ["--engine", "batched"]) == 0
+        batched = capsys.readouterr().out
+        assert main(args + ["--engine", "scalar"]) == 0
+        assert capsys.readouterr().out == batched
+        assert main(args) == 0  # scalar is the default
+        assert capsys.readouterr().out == batched
+
+    def test_faults_sweep_engine_flag_output_identical(self, capsys):
+        pytest.importorskip("scipy")
+        args = ["faults", "sweep", "--mtbf-hours", "2", "--mttr", "600",
+                "--horizon", "1800", "--epochs", "3", "--seed", "7"]
+        assert main(args + ["--engine", "batched"]) == 0
+        batched = capsys.readouterr().out
+        assert main(args + ["--engine", "scalar"]) == 0
+        assert capsys.readouterr().out == batched
+
     def test_figure2c_quick(self, capsys):
         assert main(["figure2c", "--counts", "4", "25",
                      "--trials", "2"]) == 0
